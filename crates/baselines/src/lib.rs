@@ -1,0 +1,39 @@
+//! # aion-baselines
+//!
+//! Reconstructions of the checkers the paper compares against — none are
+//! available as Rust libraries, so they are rebuilt here from their papers
+//! with the same algorithmic skeletons (and therefore the same asymptotic
+//! behaviour, which is what the evaluation contrasts):
+//!
+//! | checker | level | setting | approach |
+//! |---------|-------|---------|----------|
+//! | [`emme`] | SI + SER | offline, white-box | version order from timestamps, full DSG + cycle detection |
+//! | [`elle`] | SI + SER | offline, black-box | dependency inference (registers / lists) + cycle detection |
+//! | [`polysi`] | SI | offline, black-box | generalized polygraph + pruning + constraint search |
+//! | [`viper`] | SI | offline, black-box | BC-polygraph + constraint search |
+//! | [`cobra`] | SER | **online**, black-box | rounds + fences + polygraph search |
+//!
+//! Substrates: [`graph`] (Tarjan SCC, incremental cycle detection, bitset
+//! closure), [`infer`] (dependency extraction), [`solver`] (the MonoSAT
+//! stand-in), [`encode`] (polygraph encodings).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cobra;
+pub mod elle;
+pub mod emme;
+pub mod encode;
+pub mod graph;
+pub mod infer;
+pub mod polysi;
+pub mod solver;
+pub mod verdict;
+pub mod viper;
+
+pub use cobra::{run_cobra_online, CobraConfig, CobraReport};
+pub use elle::{check_elle, check_elle_kv, check_elle_list, Level};
+pub use emme::{check_emme_ser, check_emme_si};
+pub use polysi::{check_polysi, check_polysi_budget};
+pub use verdict::BaselineOutcome;
+pub use viper::{check_viper, check_viper_budget};

@@ -1,0 +1,29 @@
+//! Common verdict type for the baseline checkers.
+
+use std::time::Duration;
+
+/// What a baseline checker concluded about a history.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineOutcome {
+    /// True when the history is accepted at the checked level.
+    pub accepted: bool,
+    /// Human-readable findings (anomalies, cycles).
+    pub anomalies: Vec<String>,
+    /// Wall-clock checking time.
+    pub elapsed: Duration,
+    /// Graph nodes examined.
+    pub nodes: usize,
+    /// Graph edges materialized.
+    pub edges: usize,
+    /// Constraint-search steps (solver-based checkers).
+    pub search_steps: u64,
+    /// True when the search budget was exhausted (reported as DNF).
+    pub timed_out: bool,
+}
+
+impl BaselineOutcome {
+    /// Accepted without timing out.
+    pub fn is_ok(&self) -> bool {
+        self.accepted && !self.timed_out
+    }
+}

@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks for the AION online checker: the paper's
+//! ~12K TPS sustained-throughput claim (§VI-B), plus the versioned-map
+//! substrate.
+
+use aion_online::{feed_plan, AionConfig, FeedConfig, Mode, OnlineChecker, VersionedMap};
+use aion_types::{EventKey, Key, Timestamp, TxnId, Value};
+use aion_workload::{generate_history, IsolationLevel, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_receive_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aion_receive");
+    group.sample_size(10);
+    let n = 10_000usize;
+    let spec = WorkloadSpec::default().with_txns(n).with_sessions(24).with_ops_per_txn(8);
+    let h = generate_history(&spec, IsolationLevel::Si);
+
+    // In arrival order with realistic delays (out-of-order w.r.t. ts).
+    let plan = feed_plan(&h, &FeedConfig::default());
+    group.throughput(Throughput::Elements(n as u64));
+    for (label, mode) in [("si", Mode::Si), ("ser", Mode::Ser)] {
+        group.bench_with_input(BenchmarkId::new("out_of_order", label), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut ck = OnlineChecker::new(AionConfig {
+                    kind: h.kind,
+                    mode,
+                    ..AionConfig::default()
+                });
+                for (at, txn) in &plan {
+                    ck.tick(*at);
+                    ck.receive(txn.clone(), *at);
+                }
+                ck.finish().stats.received
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_versioned_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("versioned_map");
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("insert_100k", |b| {
+        b.iter(|| {
+            let mut m: VersionedMap<Value> = VersionedMap::new();
+            for i in 0..n {
+                m.insert(
+                    Key(i % 512),
+                    EventKey::commit(Timestamp(i + 1), TxnId(i)),
+                    Value(i),
+                );
+            }
+            m.len()
+        })
+    });
+    let mut m: VersionedMap<Value> = VersionedMap::new();
+    for i in 0..n {
+        m.insert(Key(i % 512), EventKey::commit(Timestamp(i + 1), TxnId(i)), Value(i));
+    }
+    group.bench_function("get_before_100k", |b| {
+        let mut q = 0u64;
+        b.iter(|| {
+            q = (q.wrapping_add(0x9e37_79b9)) % n;
+            m.get_before(Key(q % 512), EventKey::start(Timestamp(q + 1), TxnId(q)))
+                .map(|(_, v)| *v)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_receive_throughput, bench_versioned_map);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks for the baseline checkers, matching the
+//! relative ordering of paper Fig. 4 (CHRONOS ≪ Elle/Emme ≪ PolySI/Viper).
+
+use aion_baselines as bl;
+use aion_core::check_si_report;
+use aion_workload::{generate_history, IsolationLevel, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_graph_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines_graph");
+    group.sample_size(10);
+    let n = 2_000usize;
+    let h = generate_history(&WorkloadSpec::default().with_txns(n), IsolationLevel::Si);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("chronos_si", |b| b.iter(|| check_si_report(&h).len()));
+    group.bench_function("elle_kv_si", |b| {
+        b.iter(|| bl::check_elle_kv(&h, bl::Level::Si).accepted)
+    });
+    group.bench_function("emme_si", |b| b.iter(|| bl::check_emme_si(&h).accepted));
+    group.bench_function("emme_ser", |b| b.iter(|| bl::check_emme_ser(&h).accepted));
+    group.finish();
+}
+
+fn bench_solver_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines_solver");
+    group.sample_size(10);
+    let n = 400usize;
+    let h = generate_history(&WorkloadSpec::default().with_txns(n), IsolationLevel::Si);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("polysi_400", |b| {
+        b.iter(|| bl::check_polysi_budget(&h, 500_000).accepted)
+    });
+    group.bench_function("viper_400", |b| {
+        b.iter(|| bl::check_viper_budget(&h, 500_000).accepted)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_checkers, bench_solver_checkers);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the CHRONOS offline checkers: the
+//! headline "100K transactions in seconds" path (paper §V-B).
+
+use aion_core::{check_si_consuming, ChronosOptions, GcPolicy};
+use aion_workload::{generate_history, IsolationLevel, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_check_si(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chronos_si");
+    group.sample_size(10);
+    for &n in &[5_000usize, 20_000] {
+        let spec = WorkloadSpec::default().with_txns(n);
+        let h = generate_history(&spec, IsolationLevel::Si);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("kv", n), &h, |b, h| {
+            b.iter(|| {
+                let out = check_si_consuming(h.clone(), &ChronosOptions::with_gc(GcPolicy::Fast));
+                assert!(out.is_ok());
+                out.txns
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_check_si_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chronos_si_list");
+    group.sample_size(10);
+    let spec = WorkloadSpec::default()
+        .with_txns(5_000)
+        .with_kind(aion_types::DataKind::List)
+        .with_read_ratio(0.4);
+    let h = generate_history(&spec, IsolationLevel::Si);
+    group.throughput(Throughput::Elements(5_000));
+    group.bench_function("list_5k", |b| {
+        b.iter(|| check_si_consuming(h.clone(), &ChronosOptions::default()).txns)
+    });
+    group.finish();
+}
+
+fn bench_check_ser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chronos_ser");
+    group.sample_size(10);
+    let spec = WorkloadSpec::default().with_txns(20_000);
+    let h = generate_history(&spec, IsolationLevel::Ser);
+    group.throughput(Throughput::Elements(20_000));
+    group.bench_function("ser_20k", |b| {
+        b.iter(|| aion_core::check_ser_consuming(h.clone(), &ChronosOptions::default()).txns)
+    });
+    group.finish();
+}
+
+fn bench_gc_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chronos_gc");
+    group.sample_size(10);
+    let spec = WorkloadSpec::default().with_txns(20_000);
+    let h = generate_history(&spec, IsolationLevel::Si);
+    for gc in [GcPolicy::Never, GcPolicy::Fast, GcPolicy::EveryN(1000)] {
+        group.bench_with_input(BenchmarkId::new("gc", gc.label()), &gc, |b, &gc| {
+            b.iter(|| check_si_consuming(h.clone(), &ChronosOptions::with_gc(gc)).txns)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_check_si, bench_check_si_list, bench_check_ser, bench_gc_strategies);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks for the substrates: storage engines, codec,
+//! key-distribution samplers, and the fast hasher.
+
+use aion_storage::{MvccStore, Store, StoreTxn, TwoPlStore};
+use aion_types::{codec, DataKind, Key, SessionId, SplitMix64, Value};
+use aion_workload::{generate_history, IsolationLevel, KeyDist, KeySampler, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("mvcc_rmw_txn", |b| {
+        let store = MvccStore::new(DataKind::Kv);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut t = store.begin(SessionId(0), 0);
+            t.read(Key(i % 64)).unwrap();
+            t.put(Key(i % 64), Value(i + 1)).unwrap();
+            t.commit().is_ok()
+        })
+    });
+    group.bench_function("twopl_rmw_txn", |b| {
+        let store = TwoPlStore::new(DataKind::Kv);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut t = store.begin(SessionId(0), 0);
+            t.read(Key(i % 64)).unwrap();
+            t.put(Key(i % 64), Value(i + 1)).unwrap();
+            t.commit().is_ok()
+        })
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(20);
+    let h = generate_history(&WorkloadSpec::default().with_txns(10_000), IsolationLevel::Si);
+    let bytes = codec::encode_history(&h);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_10k", |b| b.iter(|| codec::encode_history(&h).len()));
+    group.bench_function("decode_10k", |b| {
+        b.iter(|| codec::decode_history(&bytes).expect("decodes").len())
+    });
+    group.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers");
+    for dist in [KeyDist::Uniform, KeyDist::Zipfian, KeyDist::Hotspot] {
+        let s = KeySampler::new(dist, 1000);
+        group.bench_with_input(BenchmarkId::new("sample", dist.label()), &s, |b, s| {
+            let mut rng = SplitMix64::new(7);
+            b.iter(|| s.sample(&mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    use std::collections::HashMap;
+    let mut group = c.benchmark_group("hashing");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("fx_map_insert_10k", |b| {
+        b.iter(|| {
+            let mut m: aion_types::FxHashMap<u64, u64> = Default::default();
+            for i in 0..10_000u64 {
+                m.insert(i, i);
+            }
+            m.len()
+        })
+    });
+    group.bench_function("sip_map_insert_10k", |b| {
+        b.iter(|| {
+            let mut m: HashMap<u64, u64> = HashMap::new();
+            for i in 0..10_000u64 {
+                m.insert(i, i);
+            }
+            m.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_codec, bench_samplers, bench_hashing);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! The experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <id>... [--scale N] [--out DIR]
+//! experiments all [--scale N]
+//! experiments list
+//! ```
+
+use aion_bench::experiments::{run, Ctx, ALL};
+
+#[global_allocator]
+static ALLOCATOR: aion_bench::alloc::CountingAllocator = aion_bench::alloc::CountingAllocator;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = Ctx::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                ctx.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&s: &usize| s > 0)
+                    .unwrap_or_else(|| die("--scale needs a positive integer"));
+            }
+            "--out" => {
+                i += 1;
+                ctx.out = args.get(i).map(Into::into).unwrap_or_else(|| die("--out needs a path"));
+            }
+            "list" => {
+                println!("available experiments:");
+                for id in ALL {
+                    println!("  {id}");
+                }
+                return;
+            }
+            "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        die("usage: experiments <id>...|all [--scale N] [--out DIR]  (try `experiments list`)");
+    }
+    println!(
+        "# aion experiments — scale 1/{} of paper sizes (use --scale 1 for paper scale)\n",
+        ctx.scale
+    );
+    for id in ids {
+        let start = std::time::Instant::now();
+        if !run(&id, &ctx) {
+            eprintln!("unknown experiment '{id}' (try `experiments list`)");
+            std::process::exit(2);
+        }
+        println!("[{id} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,74 @@
+//! One experiment per table/figure of the paper. Each function prints the
+//! series the paper reports and writes a CSV under the output directory.
+//!
+//! `--scale N` divides the paper's transaction counts by `N` (default 20)
+//! so the whole suite runs on a laptop in minutes; `--scale 1` reproduces
+//! paper-scale inputs.
+
+pub mod flipflops;
+pub mod offline;
+pub mod online;
+
+use std::path::PathBuf;
+
+/// Shared experiment context.
+#[derive(Clone, Debug)]
+pub struct Ctx {
+    /// Divide paper transaction counts by this.
+    pub scale: usize,
+    /// Output directory for CSVs.
+    pub out: PathBuf,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx { scale: 20, out: PathBuf::from("results") }
+    }
+}
+
+impl Ctx {
+    /// Scale a paper-sized transaction count (with a sane floor).
+    pub fn n(&self, paper: usize) -> usize {
+        (paper / self.scale).clamp(100.min(paper), paper)
+    }
+}
+
+/// All experiment ids, in run order for `all`.
+pub const ALL: &[&str] = &[
+    "table1", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "sec5d", "fig12a", "fig12b", "fig12cd", "fig13", "fig14", "fig15", "fig16", "fig17_18",
+    "fig19", "fig20_21", "fig22", "fig23", "fig24", "fig25",
+];
+
+/// Dispatch one experiment by id. Returns false for unknown ids.
+pub fn run(id: &str, ctx: &Ctx) -> bool {
+    match id {
+        "table1" => offline::table1(ctx),
+        "fig4" => offline::fig4(ctx),
+        "fig5a" => offline::fig5a(ctx),
+        "fig5b" => offline::fig5b(ctx),
+        "fig6" => offline::fig6(ctx),
+        "fig7" => offline::fig7(ctx),
+        "fig8" => offline::fig8(ctx),
+        "fig9" => offline::fig9(ctx),
+        "fig10" => offline::fig10(ctx),
+        "fig11" => offline::fig11(ctx),
+        "sec5d" => offline::sec5d(ctx),
+        "fig22" => offline::fig22(ctx),
+        "fig24" => offline::fig24(ctx),
+        "fig12a" => online::fig12a(ctx),
+        "fig12b" => online::fig12b(ctx),
+        "fig12cd" => online::fig12cd(ctx),
+        "fig15" => online::fig15(ctx),
+        "fig16" => online::fig16(ctx),
+        "fig23" => online::fig23(ctx),
+        "fig25" => online::fig25(ctx),
+        "fig13" => flipflops::fig13(ctx),
+        "fig14" => flipflops::fig14(ctx),
+        "fig17_18" => flipflops::fig17_18(ctx),
+        "fig19" => flipflops::fig19(ctx),
+        "fig20_21" => flipflops::fig20_21(ctx),
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,64 @@
+//! Garbage-collection policies for the offline checker.
+//!
+//! CHRONOS frees a transaction's memory as soon as its information has been
+//! absorbed into `frontier`/`last_sno`/`last_cts` (paper lines 2:30–2:33).
+//! The paper's experiments additionally sweep periodically and compare GC
+//! frequencies (Figs. 6, 9, 10); these policies mirror that design space.
+
+/// When the offline checker releases processed transactions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum GcPolicy {
+    /// Never free anything until the run ends (the paper's `gc-∞`).
+    Never,
+    /// Sweep after every `n` processed commit events (the paper's
+    /// `gc-10k`, `gc-20k`, ...). Each sweep walks the transaction table, so
+    /// more frequent sweeps trade runtime for a smaller working set.
+    EveryN(usize),
+    /// Drop each transaction the moment its start event has been fully
+    /// absorbed (the paper's `fast` setting): minimal memory, no sweeps.
+    #[default]
+    Fast,
+}
+
+impl GcPolicy {
+    /// Parse the experiment-harness spelling: `inf`, `fast`, or a number.
+    pub fn parse(s: &str) -> Option<GcPolicy> {
+        match s {
+            "inf" | "never" | "none" => Some(GcPolicy::Never),
+            "fast" => Some(GcPolicy::Fast),
+            n => n.parse::<usize>().ok().filter(|&n| n > 0).map(GcPolicy::EveryN),
+        }
+    }
+
+    /// Human-readable label matching the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            GcPolicy::Never => "gc-inf".to_string(),
+            GcPolicy::Fast => "gc-fast".to_string(),
+            GcPolicy::EveryN(n) if n % 1000 == 0 => format!("gc-{}k", n / 1000),
+            GcPolicy::EveryN(n) => format!("gc-{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_spellings() {
+        assert_eq!(GcPolicy::parse("inf"), Some(GcPolicy::Never));
+        assert_eq!(GcPolicy::parse("fast"), Some(GcPolicy::Fast));
+        assert_eq!(GcPolicy::parse("10000"), Some(GcPolicy::EveryN(10000)));
+        assert_eq!(GcPolicy::parse("0"), None);
+        assert_eq!(GcPolicy::parse("x"), None);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(GcPolicy::Never.label(), "gc-inf");
+        assert_eq!(GcPolicy::Fast.label(), "gc-fast");
+        assert_eq!(GcPolicy::EveryN(10_000).label(), "gc-10k");
+        assert_eq!(GcPolicy::EveryN(1234).label(), "gc-1234");
+    }
+}

@@ -1,0 +1,38 @@
+//! # aion-core — CHRONOS
+//!
+//! Offline timestamp-based isolation checkers from the paper *"Online
+//! Timestamp-based Transactional Isolation Checking of Database Systems"*
+//! (ICDE 2025):
+//!
+//! * [`chronos::check_si`] — snapshot isolation (paper Algorithm 2),
+//!   `O(N log N + M)`;
+//! * [`chronos_ser::check_ser`] — serializability under commit-timestamp
+//!   arbitration (paper §VI-A);
+//! * GC policies ([`gc::GcPolicy`]) and stage timing instrumentation
+//!   ([`report::StageTimings`]) matching the paper's runtime decomposition
+//!   experiments.
+//!
+//! ```
+//! use aion_core::{check_si, ChronosOptions};
+//! use aion_types::{DataKind, History, Key, TxnBuilder, Value};
+//!
+//! let mut h = History::new(DataKind::Kv);
+//! h.push(TxnBuilder::new(1).session(0, 0).interval(1, 2).put(Key(1), Value(7)).build());
+//! h.push(TxnBuilder::new(2).session(1, 0).interval(3, 4).read(Key(1), Value(7)).build());
+//! let outcome = check_si(&h, &ChronosOptions::default());
+//! assert!(outcome.is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chronos;
+pub mod chronos_ser;
+pub mod event;
+pub mod gc;
+pub mod report;
+
+pub use chronos::{check_si, check_si_consuming, check_si_report, ChronosOptions};
+pub use chronos_ser::{check_ser, check_ser_consuming, check_ser_report, ChronosSerOptions};
+pub use gc::GcPolicy;
+pub use report::{ChronosOutcome, StageTimings};

@@ -1,0 +1,92 @@
+//! Checking outcomes: violations plus stage timing instrumentation.
+//!
+//! The paper decomposes CHRONOS runtime into *loading*, *sorting*,
+//! *checking* and *garbage collecting* stages (§V-C1, Figs. 8–9). The
+//! checkers in this crate time each stage so the experiment harness can
+//! regenerate those figures.
+
+use aion_types::CheckReport;
+use std::fmt;
+use std::time::Duration;
+
+/// Wall-clock time spent in each CHRONOS stage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// Reading and decoding the history into memory.
+    pub loading: Duration,
+    /// Sorting the start/commit events by timestamp.
+    pub sorting: Duration,
+    /// Simulating the execution and checking axioms.
+    pub checking: Duration,
+    /// Garbage-collection sweeps.
+    pub gc: Duration,
+}
+
+impl StageTimings {
+    /// Total time across all stages.
+    pub fn total(&self) -> Duration {
+        self.loading + self.sorting + self.checking + self.gc
+    }
+}
+
+impl fmt::Display for StageTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "load {:.3}s sort {:.3}s check {:.3}s gc {:.3}s (total {:.3}s)",
+            self.loading.as_secs_f64(),
+            self.sorting.as_secs_f64(),
+            self.checking.as_secs_f64(),
+            self.gc.as_secs_f64(),
+            self.total().as_secs_f64()
+        )
+    }
+}
+
+/// The result of one offline checking run.
+#[derive(Clone, Debug, Default)]
+pub struct ChronosOutcome {
+    /// Violations found (empty means the history passes).
+    pub report: CheckReport,
+    /// Stage timing decomposition.
+    pub timings: StageTimings,
+    /// Number of transactions processed.
+    pub txns: usize,
+    /// Number of operations processed.
+    pub ops: usize,
+    /// Peak number of transactions simultaneously open (started but not
+    /// yet committed) during the simulation; a proxy for the working set.
+    pub peak_open_txns: usize,
+}
+
+impl ChronosOutcome {
+    /// True when no violation was found.
+    pub fn is_ok(&self) -> bool {
+        self.report.is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_total_sums_stages() {
+        let t = StageTimings {
+            loading: Duration::from_millis(10),
+            sorting: Duration::from_millis(20),
+            checking: Duration::from_millis(30),
+            gc: Duration::from_millis(40),
+        };
+        assert_eq!(t.total(), Duration::from_millis(100));
+        let s = t.to_string();
+        assert!(s.contains("total 0.100s"));
+    }
+
+    #[test]
+    fn outcome_defaults_ok() {
+        let o = ChronosOutcome::default();
+        assert!(o.is_ok());
+        assert_eq!(o.txns, 0);
+    }
+}

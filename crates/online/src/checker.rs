@@ -1,0 +1,1009 @@
+//! AION: the online timestamp-based isolation checker (paper Algorithm 3).
+//!
+//! Transactions arrive one by one, in session order per session but *not*
+//! in timestamp order (asynchrony). The checker maintains timestamp-
+//! versioned state and, on every arrival:
+//!
+//! 1. checks SESSION, INT and the tentative EXT verdicts of the new
+//!    transaction against the currently known frontier (step ①);
+//! 2. re-checks NOCONFLICT for transactions overlapping it, via the
+//!    versioned `ongoing` index (step ②) — arrival-driven, so each
+//!    conflicting pair is reported exactly once;
+//! 3. re-checks EXT for reads anchored after its commit, up to the next
+//!    version of each written key (step ③) — per-key versioning makes the
+//!    paper's frontier touch-ups unnecessary (DESIGN.md, deviation 2).
+//!
+//! EXT verdicts are *tentative* until a per-transaction timeout expires
+//! (paper §IV-A, default 5 s); verdict switches in the meantime are the
+//! "flip-flops" of §VI-C, tracked by [`crate::stats::FlipTracker`]. Memory
+//! is bounded by spill-to-disk GC ([`crate::spill`]).
+//!
+//! One implementation serves both isolation levels: under [`Mode::Si`]
+//! reads anchor at the start event and NOCONFLICT is checked; under
+//! [`Mode::Ser`] (AION-SER) reads anchor at the commit event, start
+//! timestamps are ignored, and NOCONFLICT is skipped (paper §VI-A).
+
+use crate::index::{KeyEventIndex, OngoingIndex, ReadRef};
+use crate::spill::{SpillEntry, SpillStore};
+use crate::stats::{AionStats, FlipSummary, FlipTracker};
+use crate::versioned::VersionedMap;
+use aion_types::{
+    classify_mismatch, expected_read, CheckReport, DataKind, EventKey, FxHashMap, FxHashSet, Key,
+    MismatchAxiom, Mutation, Op, SessionId, Snapshot, Timestamp, Transaction, TxnId, Violation,
+};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::path::PathBuf;
+
+/// Which isolation level the checker enforces.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Mode {
+    /// Snapshot isolation (AION).
+    #[default]
+    Si,
+    /// Serializability (AION-SER).
+    Ser,
+}
+
+/// Online garbage-collection policy (paper Fig. 12's three strategies).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OnlineGcPolicy {
+    /// Never spill (`Aion-no-gc`): memory grows with the history.
+    #[default]
+    None,
+    /// Spill once the resident transaction count exceeds `max_txns`,
+    /// keeping ample headroom (`Aion-checking-gc`).
+    Checking {
+        /// Resident-transaction threshold that triggers a spill pass.
+        max_txns: usize,
+    },
+    /// Hard cap: spill the minimum on every arrival at the limit
+    /// (`Aion-full-gc`) — the checker thrashes, as in the paper.
+    Full {
+        /// Hard resident-transaction limit.
+        max_txns: usize,
+    },
+}
+
+/// Configuration for an online checking session.
+#[derive(Clone, Debug)]
+pub struct AionConfig {
+    /// Data type of the incoming history.
+    pub kind: DataKind,
+    /// Isolation level to check.
+    pub mode: Mode,
+    /// EXT finalization timeout in (virtual) milliseconds; the paper uses
+    /// a conservative 5 s (§IV-A).
+    pub ext_timeout_ms: u64,
+    /// Garbage-collection policy.
+    pub gc: OnlineGcPolicy,
+    /// Collect per-pair flip-flop details (costs memory; enable for the
+    /// §VI-C experiments).
+    pub track_flip_details: bool,
+    /// Ablation switch: disable the paper's step-③ optimization that stops
+    /// re-checking at the next overwrite of each key, re-evaluating *every*
+    /// later reader instead. Same verdicts, strictly more work.
+    pub naive_recheck: bool,
+    /// Spill segments to this file instead of in-memory buffers.
+    pub spill_path: Option<PathBuf>,
+}
+
+impl Default for AionConfig {
+    fn default() -> Self {
+        AionConfig {
+            kind: DataKind::Kv,
+            mode: Mode::Si,
+            ext_timeout_ms: 5000,
+            gc: OnlineGcPolicy::None,
+            track_flip_details: false,
+            naive_recheck: false,
+            spill_path: None,
+        }
+    }
+}
+
+/// Tentative per-read checking state (the paper's `T.EXT`, per read).
+#[derive(Clone, Debug)]
+struct ReadState {
+    op_index: u32,
+    key: Key,
+    observed: Snapshot,
+    muts_before: Vec<Mutation>,
+    /// Current tentative verdict.
+    ok: bool,
+    /// Settled reads (internal-consistency reads and INT violations) have
+    /// final verdicts at arrival and are excluded from EXT re-checking.
+    settled: bool,
+    /// When the verdict last became wrong (for rectification latency).
+    wrong_since: Option<u64>,
+}
+
+/// A resident transaction with its derived checking state.
+#[derive(Debug)]
+struct OnlineTxn {
+    txn: Transaction,
+    write_set: Vec<(Key, Snapshot)>,
+    reads: Vec<ReadState>,
+    /// Keys whose first in-transaction access was a read: their published
+    /// values fold over that observation and never change with the
+    /// frontier (no cascade).
+    anchor_keys: Vec<Key>,
+    finalized: bool,
+}
+
+/// The outcome of an online checking session.
+#[derive(Clone, Debug, Default)]
+pub struct AionOutcome {
+    /// All violations found.
+    pub report: CheckReport,
+    /// Runtime counters.
+    pub stats: AionStats,
+    /// Flip-flop statistics (§VI-C).
+    pub flips: FlipSummary,
+}
+
+impl AionOutcome {
+    /// True when no violation was found.
+    pub fn is_ok(&self) -> bool {
+        self.report.is_ok()
+    }
+}
+
+/// The online checker. Drive it with [`receive`](Self::receive) and
+/// [`tick`](Self::tick), then [`finish`](Self::finish).
+pub struct OnlineChecker {
+    cfg: AionConfig,
+    txns: FxHashMap<TxnId, OnlineTxn>,
+    all_tids: FxHashSet<TxnId>,
+    ts_owner: FxHashMap<Timestamp, TxnId>,
+    next_sno: FxHashMap<SessionId, u32>,
+    last_cts: FxHashMap<SessionId, Timestamp>,
+    frontier: VersionedMap<Snapshot>,
+    readers: KeyEventIndex<ReadRef>,
+    writers: KeyEventIndex<TxnId>,
+    ongoing: OngoingIndex,
+    deadlines: BinaryHeap<Reverse<(u64, TxnId)>>,
+    triggers: VecDeque<(Key, EventKey)>,
+    spill: SpillStore,
+    /// Largest commit timestamp ever spilled; arrivals at or below it must
+    /// reload first.
+    gc_horizon_ts: Option<Timestamp>,
+    now_ms: u64,
+    report: CheckReport,
+    flips: FlipTracker,
+    stats: AionStats,
+}
+
+impl OnlineChecker {
+    /// A checker with the given configuration.
+    pub fn new(cfg: AionConfig) -> OnlineChecker {
+        let spill = match &cfg.spill_path {
+            Some(path) => SpillStore::on_disk(path.clone())
+                .expect("failed to create spill file; use in-memory spilling instead"),
+            None => SpillStore::in_memory(),
+        };
+        let flips = FlipTracker::new(cfg.track_flip_details);
+        OnlineChecker {
+            cfg,
+            txns: FxHashMap::default(),
+            all_tids: FxHashSet::default(),
+            ts_owner: FxHashMap::default(),
+            next_sno: FxHashMap::default(),
+            last_cts: FxHashMap::default(),
+            frontier: VersionedMap::new(),
+            readers: KeyEventIndex::new(),
+            writers: KeyEventIndex::new(),
+            ongoing: OngoingIndex::new(),
+            deadlines: BinaryHeap::new(),
+            triggers: VecDeque::new(),
+            spill,
+            gc_horizon_ts: None,
+            now_ms: 0,
+            report: CheckReport::new(),
+            flips,
+            stats: AionStats::default(),
+        }
+    }
+
+    /// An SI checker with default settings.
+    pub fn new_si(kind: DataKind) -> OnlineChecker {
+        OnlineChecker::new(AionConfig { kind, ..AionConfig::default() })
+    }
+
+    /// A SER checker with default settings.
+    pub fn new_ser(kind: DataKind) -> OnlineChecker {
+        OnlineChecker::new(AionConfig { kind, mode: Mode::Ser, ..AionConfig::default() })
+    }
+
+    fn anchor_of(&self, txn: &Transaction) -> EventKey {
+        match self.cfg.mode {
+            Mode::Si => txn.start_event(),
+            Mode::Ser => txn.commit_event(),
+        }
+    }
+
+    fn frontier_at(&self, key: Key, at: EventKey) -> Snapshot {
+        self.frontier
+            .get_before(key, at)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| Snapshot::initial(self.cfg.kind))
+    }
+
+    /// Violations reported so far.
+    pub fn report(&self) -> &CheckReport {
+        &self.report
+    }
+
+    /// Runtime counters so far.
+    pub fn stats(&self) -> AionStats {
+        self.stats
+    }
+
+    /// Transactions currently resident in memory.
+    pub fn resident_txns(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Rough estimate of live checker memory, for the constrained-memory
+    /// experiment (Fig. 16).
+    pub fn estimated_memory_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        for t in self.txns.values() {
+            bytes += 128 + t.txn.ops.len() * 48 + t.reads.len() * 96 + t.write_set.len() * 56;
+        }
+        bytes += self.frontier.len() * 72;
+        bytes += self.ongoing.len() * 64;
+        bytes += self.readers.len() * 40 + self.writers.len() * 40;
+        bytes
+    }
+
+    /// Advance the (virtual) clock and finalize every transaction whose
+    /// EXT timeout has expired (paper's `TIMEOUT` procedure).
+    pub fn tick(&mut self, now_ms: u64) {
+        self.now_ms = self.now_ms.max(now_ms);
+        while let Some(&Reverse((deadline, tid))) = self.deadlines.peek() {
+            if deadline > self.now_ms {
+                break;
+            }
+            self.deadlines.pop();
+            self.finalize_txn(tid);
+        }
+    }
+
+    /// Finalize everything regardless of deadlines (end of stream).
+    pub fn drain(&mut self) {
+        while let Some(Reverse((_, tid))) = self.deadlines.pop() {
+            self.finalize_txn(tid);
+        }
+    }
+
+    /// Drain and produce the outcome.
+    pub fn finish(mut self) -> AionOutcome {
+        self.drain();
+        AionOutcome { report: self.report, stats: self.stats, flips: self.flips.summary() }
+    }
+
+    /// Receive one transaction at (virtual) time `now_ms`.
+    pub fn receive(&mut self, txn: Transaction, now_ms: u64) {
+        self.now_ms = self.now_ms.max(now_ms);
+        self.stats.received += 1;
+
+        // --- integrity -----------------------------------------------------
+        if !self.all_tids.insert(txn.tid) {
+            self.report.push(Violation::DuplicateTid { tid: txn.tid });
+            return;
+        }
+        let mut tss = vec![txn.start_ts];
+        if txn.commit_ts != txn.start_ts {
+            tss.push(txn.commit_ts);
+        }
+        for ts in tss {
+            match self.ts_owner.get(&ts) {
+                Some(&owner) if owner != txn.tid => {
+                    self.report.push(Violation::DuplicateTimestamp { ts, t1: owner, t2: txn.tid });
+                }
+                _ => {
+                    self.ts_owner.insert(ts, txn.tid);
+                }
+            }
+        }
+
+        // --- SESSION --------------------------------------------------------
+        self.check_session(&txn);
+
+        // --- Eq. (1) ---------------------------------------------------------
+        if txn.start_ts > txn.commit_ts {
+            self.report.push(Violation::TimestampOrder {
+                tid: txn.tid,
+                start_ts: txn.start_ts,
+                commit_ts: txn.commit_ts,
+            });
+            return; // malformed: do not poison the versioned state
+        }
+
+        // --- reload spilled state if this arrival reaches below the GC
+        //     horizon (deep straggler) ---------------------------------------
+        if let Some(horizon) = self.gc_horizon_ts {
+            let anchor_ts = match self.cfg.mode {
+                Mode::Si => txn.start_ts,
+                Mode::Ser => txn.commit_ts,
+            };
+            if anchor_ts <= horizon {
+                self.reload_below(txn.commit_ts);
+            }
+        }
+
+        self.process(txn);
+        self.maybe_gc();
+        self.stats.peak_resident_txns = self.stats.peak_resident_txns.max(self.txns.len());
+    }
+
+    fn check_session(&mut self, txn: &Transaction) {
+        let expected = self.next_sno.get(&txn.sid).copied().unwrap_or(0);
+        let last_cts = self.last_cts.get(&txn.sid).copied().unwrap_or(Timestamp::MIN);
+        let violated = match self.cfg.mode {
+            // SI: must follow its predecessor and start after it committed.
+            Mode::Si => txn.sno != expected || txn.start_ts < last_cts,
+            // SER: start timestamps are ignored; session order must embed
+            // into commit order.
+            Mode::Ser => txn.sno != expected || txn.commit_ts <= last_cts,
+        };
+        if violated {
+            self.report.push(Violation::Session {
+                tid: txn.tid,
+                sid: txn.sid,
+                expected_sno: expected,
+                found_sno: txn.sno,
+                start_ts: txn.start_ts,
+                last_commit_ts: last_cts,
+            });
+        }
+        self.next_sno.insert(txn.sid, txn.sno + 1);
+        self.last_cts.insert(txn.sid, txn.commit_ts);
+    }
+
+    /// Steps ①–③ for a well-formed arrival.
+    fn process(&mut self, txn: Transaction) {
+        let tid = txn.tid;
+        let anchor = self.anchor_of(&txn);
+        let commit_ev = txn.commit_event();
+
+        // -- derive read states and the write set ---------------------------
+        // `anchored` mirrors CHRONOS's `int_val` rule: the *first* access to
+        // a key being a read pins that observation as the base for every
+        // later access to the key in this transaction. Such later reads are
+        // stable under asynchrony (they do not consult the frontier) and
+        // settle immediately; only first reads (and reads over write-first
+        // append chains) are frontier-dependent and tentative.
+        let mut muts_so_far: FxHashMap<Key, Vec<Mutation>> = FxHashMap::default();
+        let mut anchored: FxHashMap<Key, Snapshot> = FxHashMap::default();
+        let mut reads: Vec<ReadState> = Vec::new();
+        for (op_index, op) in txn.ops.iter().enumerate() {
+            match op {
+                Op::Read { key, value } => {
+                    let muts_before = muts_so_far.get(key).cloned().unwrap_or_default();
+                    let mut r = ReadState {
+                        op_index: op_index as u32,
+                        key: *key,
+                        observed: value.clone(),
+                        muts_before,
+                        ok: true,
+                        settled: false,
+                        wrong_since: None,
+                    };
+                    if let Some(base) = anchored.get(key) {
+                        // Internal consistency vs. the anchored observation:
+                        // stable — verdict final now.
+                        let expected = expected_read(base, &r.muts_before);
+                        if expected != r.observed {
+                            let v = match classify_mismatch(&r.muts_before, &r.observed) {
+                                MismatchAxiom::Int => Violation::Int {
+                                    tid,
+                                    key: *key,
+                                    op_index,
+                                    expected,
+                                    observed: r.observed.clone(),
+                                },
+                                MismatchAxiom::Ext => Violation::Ext {
+                                    tid,
+                                    key: *key,
+                                    op_index,
+                                    expected,
+                                    observed: r.observed.clone(),
+                                },
+                            };
+                            self.report.push(v);
+                        }
+                        r.settled = true;
+                    } else if r.muts_before.is_empty() {
+                        // First access to the key is this read: anchor it.
+                        anchored.insert(*key, value.clone());
+                    }
+                    reads.push(r);
+                }
+                Op::Write { key, mutation } => {
+                    muts_so_far.entry(*key).or_default().push(*mutation);
+                }
+            }
+        }
+        // Published value per key: fold over the anchored observation when
+        // the key was read first (CHRONOS's int_val chain), else over the
+        // frontier snapshot at the anchor event.
+        let mut write_set: Vec<(Key, Snapshot)> = muts_so_far
+            .iter()
+            .map(|(key, muts)| {
+                let base = match anchored.get(key) {
+                    Some(a) => a.clone(),
+                    None => self.frontier_at(*key, anchor),
+                };
+                (*key, expected_read(&base, muts))
+            })
+            .collect();
+        write_set.sort_unstable_by_key(|(k, _)| *k);
+        let mut anchor_keys: Vec<Key> = anchored.keys().copied().collect();
+        anchor_keys.sort_unstable();
+
+        // -- step ①: tentative verdicts against the known frontier ----------
+        for r in reads.iter_mut() {
+            if r.settled {
+                continue;
+            }
+            let base = self.frontier_at(r.key, anchor);
+            let expected = expected_read(&base, &r.muts_before);
+            if expected == r.observed {
+                r.ok = true;
+            } else {
+                match classify_mismatch(&r.muts_before, &r.observed) {
+                    MismatchAxiom::Int => {
+                        // Stable under asynchrony: report immediately.
+                        self.report.push(Violation::Int {
+                            tid,
+                            key: r.key,
+                            op_index: r.op_index as usize,
+                            expected,
+                            observed: r.observed.clone(),
+                        });
+                        r.settled = true;
+                        r.ok = true;
+                    }
+                    MismatchAxiom::Ext => {
+                        r.ok = false;
+                        r.wrong_since = Some(self.now_ms);
+                    }
+                }
+            }
+        }
+
+        // -- index reads and writes -----------------------------------------
+        for (idx, r) in reads.iter().enumerate() {
+            if !r.settled {
+                self.readers.insert(r.key, anchor, ReadRef { tid, read_idx: idx as u32 });
+            }
+        }
+        for (key, _) in &write_set {
+            self.writers.insert(*key, anchor, tid);
+        }
+
+        // -- step ③: publish versions and re-check affected readers ---------
+        for (key, snap) in &write_set {
+            self.frontier.insert(*key, commit_ev, snap.clone());
+        }
+        for (key, _) in &write_set {
+            self.triggers.push_back((*key, commit_ev));
+        }
+
+        // -- step ②: NOCONFLICT via overlap registration (SI only) ----------
+        let mut conflicts: Vec<(Key, TxnId)> = Vec::new();
+        if self.cfg.mode == Mode::Si {
+            for (key, _) in &write_set {
+                for other in
+                    self.ongoing.register(*key, tid, txn.start_event(), commit_ev, false)
+                {
+                    conflicts.push((*key, other));
+                }
+            }
+        }
+        for (key, other) in conflicts {
+            // The earlier committer reports (matching CHRONOS's convention).
+            let other_cts =
+                self.txns.get(&other).map(|t| t.txn.commit_ts).unwrap_or(Timestamp::MIN);
+            let (t1, t2) =
+                if other_cts < txn.commit_ts { (other, tid) } else { (tid, other) };
+            self.report.push(Violation::NoConflict { key, t1, t2 });
+        }
+
+        // -- register the transaction and its deadline ----------------------
+        let pending = reads.iter().any(|r| !r.settled);
+        let finalized = !pending;
+        if finalized {
+            self.stats.finalized += 1;
+        } else {
+            self.deadlines.push(Reverse((self.now_ms + self.cfg.ext_timeout_ms, tid)));
+        }
+        self.txns.insert(tid, OnlineTxn { txn, write_set, reads, anchor_keys, finalized });
+
+        self.process_triggers();
+    }
+
+    /// Re-check readers (and, for lists, dependent writers) in the window
+    /// `(from, next version of key)` after a version insertion at `from`.
+    fn process_triggers(&mut self) {
+        while let Some((key, from)) = self.triggers.pop_front() {
+            let bound = if self.cfg.naive_recheck {
+                EventKey::INFINITY
+            } else {
+                self.frontier.next_after(key, from).unwrap_or(EventKey::INFINITY)
+            };
+            for (anchor_ev, rref) in self.readers.range(key, from, bound) {
+                self.re_evaluate(rref, key, anchor_ev);
+            }
+            if self.cfg.kind == DataKind::List {
+                // Append results depend on their base snapshot: writers in
+                // the window must recompute and cascade.
+                for (anchor_ev, wtid) in self.writers.range(key, from, bound) {
+                    self.recompute_writer(wtid, key, anchor_ev);
+                }
+            }
+        }
+    }
+
+    fn re_evaluate(&mut self, rref: ReadRef, key: Key, anchor_ev: EventKey) {
+        let Some(t) = self.txns.get(&rref.tid) else { return };
+        if t.finalized {
+            return; // verdict frozen (paper lines 40–41)
+        }
+        let r = &t.reads[rref.read_idx as usize];
+        if r.settled {
+            return;
+        }
+        let base = self.frontier_at(key, anchor_ev);
+        let expected = expected_read(&base, &r.muts_before);
+        let new_ok = expected == r.observed;
+        self.stats.reevaluations += 1;
+        if new_ok != r.ok {
+            let rectified =
+                if new_ok { r.wrong_since.map(|w| self.now_ms.saturating_sub(w)) } else { None };
+            self.flips.record_flip(rref.tid, key, rectified);
+            let t = self.txns.get_mut(&rref.tid).expect("present above");
+            let r = &mut t.reads[rref.read_idx as usize];
+            r.ok = new_ok;
+            r.wrong_since = if new_ok { None } else { Some(self.now_ms) };
+        }
+    }
+
+    /// Recompute a (list) writer's published snapshot for `key` when its
+    /// base changed; cascades through the frontier if the value differs.
+    fn recompute_writer(&mut self, wtid: TxnId, key: Key, anchor_ev: EventKey) {
+        let Some(t) = self.txns.get(&wtid) else { return };
+        if t.anchor_keys.contains(&key) {
+            return; // published value folds over the anchored observation
+        }
+        let muts: Vec<Mutation> = t
+            .txn
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Write { key: k, mutation } if *k == key => Some(*mutation),
+                _ => None,
+            })
+            .collect();
+        if muts.is_empty() || aion_types::base_independent(&muts) {
+            return; // Put-rooted values never change with the base
+        }
+        let base = self.frontier_at(key, anchor_ev);
+        let new_snap = expected_read(&base, &muts);
+        let commit_ev = t.txn.commit_event();
+        let current = t.write_set.iter().find(|(k, _)| *k == key).map(|(_, s)| s.clone());
+        if current.as_ref() == Some(&new_snap) {
+            return;
+        }
+        let t = self.txns.get_mut(&wtid).expect("present above");
+        if let Some(entry) = t.write_set.iter_mut().find(|(k, _)| *k == key) {
+            entry.1 = new_snap.clone();
+        }
+        self.frontier.insert(key, commit_ev, new_snap);
+        self.triggers.push_back((key, commit_ev));
+    }
+
+    /// Finalize the EXT verdicts of one transaction (paper `TIMEOUT`).
+    fn finalize_txn(&mut self, tid: TxnId) {
+        let Some(t) = self.txns.get(&tid) else { return };
+        if t.finalized {
+            return;
+        }
+        let anchor = self.anchor_of(&t.txn);
+        let mut viols = Vec::new();
+        for r in &t.reads {
+            if !r.ok && !r.settled {
+                let base = self.frontier_at(r.key, anchor);
+                let expected = expected_read(&base, &r.muts_before);
+                viols.push(Violation::Ext {
+                    tid,
+                    key: r.key,
+                    op_index: r.op_index as usize,
+                    expected,
+                    observed: r.observed.clone(),
+                });
+            }
+        }
+        for v in viols {
+            self.report.push(v);
+        }
+        self.txns.get_mut(&tid).expect("present above").finalized = true;
+        self.stats.finalized += 1;
+    }
+
+    // --- garbage collection --------------------------------------------------
+
+    fn maybe_gc(&mut self) {
+        let (threshold, target) = match self.cfg.gc {
+            OnlineGcPolicy::None => return,
+            OnlineGcPolicy::Checking { max_txns } => (max_txns, max_txns / 2),
+            OnlineGcPolicy::Full { max_txns } => (max_txns, max_txns.saturating_sub(1)),
+        };
+        if self.txns.len() <= threshold {
+            return;
+        }
+        self.spill_down_to(target);
+    }
+
+    /// Spill finalized transactions (oldest first) until at most `target`
+    /// transactions remain resident, or no more can be safely spilled.
+    fn spill_down_to(&mut self, target: usize) {
+        // Safe horizon: nothing at or above the anchor of any live
+        // (unfinalized) transaction may be spilled — its verdicts can still
+        // change (paper: asynchrony may prevent recycling anything).
+        let mut safe_horizon = EventKey::INFINITY;
+        for t in self.txns.values() {
+            if !t.finalized {
+                safe_horizon = safe_horizon.min(self.anchor_of(&t.txn));
+            }
+        }
+        let mut candidates: Vec<(EventKey, TxnId)> = self
+            .txns
+            .values()
+            .filter(|t| t.finalized && t.txn.commit_event() < safe_horizon)
+            .map(|t| (t.txn.commit_event(), t.txn.tid))
+            .collect();
+        candidates.sort_unstable();
+
+        let excess = self.txns.len().saturating_sub(target);
+        let spill_count = candidates.len().min(excess);
+        if spill_count == 0 {
+            return; // worst case: asynchrony blocks all recycling
+        }
+        let spilled: Vec<TxnId> = candidates[..spill_count].iter().map(|&(_, t)| t).collect();
+        let mut max_spilled_cts = Timestamp::MIN;
+        let entries: Vec<SpillEntry> = spilled
+            .iter()
+            .map(|tid| {
+                let t = self.txns.remove(tid).expect("candidate is resident");
+                max_spilled_cts = max_spilled_cts.max(t.txn.commit_ts);
+                SpillEntry { txn: t.txn, write_set: t.write_set }
+            })
+            .collect();
+        let (_, bytes) = self.spill.spill(&entries);
+        self.stats.gc_spills += 1;
+        self.stats.spilled_txns += entries.len();
+        self.stats.spill_bytes += bytes as u64;
+        self.gc_horizon_ts =
+            Some(self.gc_horizon_ts.map_or(max_spilled_cts, |h| h.max(max_spilled_cts)));
+
+        // Prune versioned state below the oldest event any retained
+        // transaction can still anchor a query at.
+        let mut prune_horizon = safe_horizon;
+        for t in self.txns.values() {
+            prune_horizon = prune_horizon.min(self.anchor_of(&t.txn));
+        }
+        self.frontier.prune_below(prune_horizon);
+        self.ongoing.prune_below(prune_horizon);
+        self.readers.prune_below(prune_horizon);
+        self.writers.prune_below(prune_horizon);
+    }
+
+    /// Reload every spilled segment that could matter for an arrival whose
+    /// anchor reaches at or below the GC horizon. Conservative: a read may
+    /// need the latest version committed long before its anchor, so all
+    /// segments up to `hi` are brought back.
+    fn reload_below(&mut self, hi: Timestamp) {
+        let ids = self.spill.segments_overlapping(Timestamp::MIN, hi);
+        for id in ids {
+            let entries = self.spill.reload(id).expect("spill segment decodes");
+            for e in entries {
+                let tid = e.txn.tid;
+                if self.txns.contains_key(&tid) {
+                    continue;
+                }
+                self.stats.reloaded_txns += 1;
+                let commit_ev = e.txn.commit_event();
+                for (key, snap) in &e.write_set {
+                    // Re-inserting is safe: reloaded versions are at or
+                    // below the retained per-key base, so no live reader's
+                    // visible version changes (see DESIGN.md).
+                    self.frontier.insert(*key, commit_ev, snap.clone());
+                }
+                if self.cfg.mode == Mode::Si {
+                    for (key, _) in &e.write_set {
+                        // Conflicts among reloaded transactions were already
+                        // reported before they were spilled.
+                        self.ongoing.register(
+                            *key,
+                            tid,
+                            e.txn.start_event(),
+                            commit_ev,
+                            true,
+                        );
+                    }
+                }
+                self.txns.insert(
+                    tid,
+                    OnlineTxn {
+                        txn: e.txn,
+                        write_set: e.write_set,
+                        reads: Vec::new(),
+                        anchor_keys: Vec::new(),
+                        finalized: true,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aion_types::{AxiomKind, TxnBuilder, Value};
+
+    fn checker() -> OnlineChecker {
+        OnlineChecker::new_si(DataKind::Kv)
+    }
+
+    fn t(tid: u64, sid: u32, sno: u32, s: u64, c: u64) -> TxnBuilder {
+        TxnBuilder::new(tid).session(sid, sno).interval(s, c)
+    }
+
+    #[test]
+    fn in_order_valid_history_passes() {
+        let mut a = checker();
+        a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(5)).build(), 0);
+        a.receive(t(2, 1, 0, 3, 4).read(Key(1), Value(5)).build(), 1);
+        let out = a.finish();
+        assert!(out.is_ok(), "{}", out.report);
+        assert_eq!(out.stats.received, 2);
+        assert_eq!(out.stats.finalized, 2);
+    }
+
+    #[test]
+    fn figure2_out_of_order_clears_false_ext_and_finds_conflict() {
+        // Paper Example 5: T1..T4 arrive, then the delayed T5.
+        let x = Key(1);
+        let y = Key(2);
+        let mut a = checker();
+        a.receive(t(1, 0, 0, 1, 2).put(x, Value(1)).build(), 0);
+        a.receive(t(2, 1, 0, 3, 5).put(x, Value(2)).build(), 0);
+        a.receive(t(3, 2, 0, 6, 9).read(x, Value(2)).put(y, Value(2)).build(), 0);
+        a.receive(t(4, 3, 0, 8, 10).read(y, Value(1)).build(), 0);
+        // At this point T4's read of y=1 is tentatively wrong (no writer of
+        // value 1 known), but nothing is reported yet.
+        assert_eq!(a.report().count(AxiomKind::Ext), 0);
+        // T5 arrives late: justifies T4's read, conflicts with T3 on y.
+        a.receive(t(5, 4, 0, 4, 7).read(x, Value(1)).put(y, Value(1)).build(), 100);
+        let out = a.finish();
+        assert_eq!(out.report.count(AxiomKind::Ext), 0, "{}", out.report);
+        assert_eq!(out.report.count(AxiomKind::NoConflict), 1, "{}", out.report);
+        assert_eq!(
+            out.report.violations.iter().find(|v| v.kind() == AxiomKind::NoConflict),
+            Some(&Violation::NoConflict { key: y, t1: TxnId(5), t2: TxnId(3) })
+        );
+        // T4 flip-flopped: wrong on arrival, rectified by T5.
+        assert!(out.flips.total_flips >= 1);
+    }
+
+    #[test]
+    fn ext_violation_reported_after_timeout() {
+        let mut a = checker();
+        a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(5)).build(), 0);
+        a.receive(t(2, 1, 0, 3, 4).read(Key(1), Value(9)).build(), 0);
+        // Before the timeout nothing is reported.
+        a.tick(4999);
+        assert_eq!(a.report().count(AxiomKind::Ext), 0);
+        a.tick(5001);
+        assert_eq!(a.report().count(AxiomKind::Ext), 1);
+        let out = a.finish();
+        assert_eq!(out.report.count(AxiomKind::Ext), 1, "no double report: {}", out.report);
+    }
+
+    #[test]
+    fn late_arrival_after_timeout_does_not_unreport() {
+        let mut a = checker();
+        a.receive(t(2, 1, 0, 3, 4).read(Key(1), Value(5)).build(), 0);
+        a.tick(6000); // finalized: EXT violation reported
+        assert_eq!(a.report().count(AxiomKind::Ext), 1);
+        // The justifying writer arrives far too late; verdict stays.
+        a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(5)).build(), 7000);
+        let out = a.finish();
+        assert_eq!(out.report.count(AxiomKind::Ext), 1);
+    }
+
+    #[test]
+    fn int_violation_reported_immediately() {
+        let mut a = checker();
+        a.receive(
+            t(1, 0, 0, 1, 2).put(Key(1), Value(5)).read(Key(1), Value(6)).build(),
+            0,
+        );
+        assert_eq!(a.report().count(AxiomKind::Int), 1, "INT is stable, no waiting");
+    }
+
+    #[test]
+    fn session_violation_detected_online() {
+        let mut a = checker();
+        a.receive(t(1, 0, 0, 1, 10).put(Key(1), Value(1)).build(), 0);
+        a.receive(t(2, 0, 1, 5, 12).build(), 0); // starts before predecessor commits
+        assert_eq!(a.report().count(AxiomKind::Session), 1);
+    }
+
+    #[test]
+    fn ser_mode_checks_commit_order_visibility() {
+        let mut a = OnlineChecker::new_ser(DataKind::Kv);
+        // Overlapping under SI but reads the pre-commit value: an EXT
+        // violation under SER.
+        a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(1)).build(), 0);
+        a.receive(t(2, 1, 0, 3, 6).put(Key(1), Value(2)).build(), 0);
+        a.receive(t(3, 2, 0, 4, 7).read(Key(1), Value(1)).build(), 0);
+        let out = a.finish();
+        assert_eq!(out.report.count(AxiomKind::Ext), 1, "{}", out.report);
+        assert_eq!(out.report.count(AxiomKind::NoConflict), 0, "SER skips NOCONFLICT");
+    }
+
+    #[test]
+    fn ser_mode_out_of_order_justification() {
+        let mut a = OnlineChecker::new_ser(DataKind::Kv);
+        // Reader arrives before the writer it read from (commit order:
+        // writer at 2, reader at 4).
+        a.receive(t(2, 1, 0, 3, 4).read(Key(1), Value(5)).build(), 0);
+        a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(5)).build(), 10);
+        let out = a.finish();
+        assert!(out.is_ok(), "{}", out.report);
+        assert!(out.flips.total_flips >= 1, "verdict must have flipped");
+    }
+
+    #[test]
+    fn duplicate_tid_and_timestamp_reported() {
+        let mut a = checker();
+        a.receive(t(1, 0, 0, 1, 2).build(), 0);
+        a.receive(t(1, 1, 0, 3, 4).build(), 0);
+        assert!(a.report().violations.iter().any(|v| matches!(v, Violation::DuplicateTid { .. })));
+        a.receive(t(3, 2, 0, 2, 5).build(), 0); // start ts collides with t1's commit
+        assert!(a
+            .report()
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicateTimestamp { ts: Timestamp(2), .. })));
+    }
+
+    #[test]
+    fn eq1_malformed_rejected() {
+        let mut a = checker();
+        a.receive(t(1, 0, 0, 9, 3).put(Key(1), Value(1)).build(), 0);
+        assert_eq!(a.report().count(AxiomKind::Integrity), 1);
+        // Later writers on the same key are unaffected.
+        a.receive(t(2, 1, 0, 10, 11).put(Key(1), Value(2)).build(), 0);
+        a.receive(t(3, 2, 0, 12, 13).read(Key(1), Value(2)).build(), 0);
+        let out = a.finish();
+        assert_eq!(out.report.count(AxiomKind::NoConflict), 0);
+        assert_eq!(out.report.count(AxiomKind::Ext), 0, "{}", out.report);
+    }
+
+    #[test]
+    fn read_only_txn_same_start_commit() {
+        let mut a = checker();
+        a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(1)).build(), 0);
+        a.receive(t(2, 1, 0, 5, 5).read(Key(1), Value(1)).build(), 0);
+        assert!(a.finish().is_ok());
+    }
+
+    #[test]
+    fn list_out_of_order_append_cascade() {
+        // Writer W2 appends on top of W1, but W1 arrives later: W2's
+        // published list must be recomputed and the reader re-justified.
+        let k = Key(1);
+        let mut a = OnlineChecker::new(AionConfig {
+            kind: DataKind::List,
+            ..AionConfig::default()
+        });
+        // Arrive out of order: W2 (interval [3,4]) first, then reader,
+        // then W1 ([1,2]).
+        a.receive(t(2, 1, 0, 3, 4).append(k, Value(20)).build(), 0);
+        a.receive(
+            t(3, 2, 0, 5, 6).read_list(k, vec![Value(10), Value(20)]).build(),
+            0,
+        );
+        a.receive(t(1, 0, 0, 1, 2).append(k, Value(10)).build(), 0);
+        let out = a.finish();
+        assert!(out.is_ok(), "cascade should rejustify the reader: {}", out.report);
+    }
+
+    #[test]
+    fn gc_spills_and_straggler_reloads() {
+        let mut a = OnlineChecker::new(AionConfig {
+            kind: DataKind::Kv,
+            ext_timeout_ms: 10,
+            gc: OnlineGcPolicy::Checking { max_txns: 8 },
+            ..AionConfig::default()
+        });
+        // Feed 40 sequential writers with increasing virtual time so the
+        // timeouts fire and GC can spill.
+        for i in 1..=40u64 {
+            let txn = t(i, 0, (i - 1) as u32, i * 10, i * 10 + 5)
+                .put(Key(i % 4), Value(i))
+                .read(Key(i % 4), Value(i))
+                .build();
+            a.receive(txn, i * 100);
+            a.tick(i * 100);
+        }
+        assert!(a.stats().spilled_txns > 0, "GC must have spilled");
+        assert!(a.resident_txns() <= 12);
+        // A deep straggler overlapping spilled territory: a reader whose
+        // snapshot is ancient. k=1 last written by txn 37 at ts 375; a read
+        // at ts 56 must see txn 5's value (w(k1)=5 committed at ts 55).
+        a.receive(
+            TxnBuilder::new(1000).session(1, 0).interval(56, 57).read(Key(1), Value(5)).build(),
+            5000,
+        );
+        assert!(a.stats().reloaded_txns > 0, "straggler must trigger reload");
+        let out = a.finish();
+        assert!(out.is_ok(), "{}", out.report);
+    }
+
+    #[test]
+    fn gc_cannot_spill_while_everything_live() {
+        let mut a = OnlineChecker::new(AionConfig {
+            kind: DataKind::Kv,
+            gc: OnlineGcPolicy::Checking { max_txns: 4 },
+            ..AionConfig::default()
+        });
+        // No ticks: nothing finalizes, so nothing may be spilled (the
+        // paper's worst case).
+        for i in 1..=10u64 {
+            a.receive(
+                t(i, i as u32 - 1, 0, i * 10, i * 10 + 5).read(Key(1), Value(0)).build(),
+                0,
+            );
+        }
+        assert_eq!(a.stats().spilled_txns, 0);
+        assert_eq!(a.resident_txns(), 10);
+    }
+
+    #[test]
+    fn flip_details_track_wrong_then_right() {
+        let mut a = OnlineChecker::new(AionConfig {
+            kind: DataKind::Kv,
+            track_flip_details: true,
+            ..AionConfig::default()
+        });
+        a.receive(t(2, 1, 0, 3, 4).read(Key(1), Value(5)).build(), 0);
+        a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(5)).build(), 7);
+        let out = a.finish();
+        assert!(out.is_ok());
+        assert_eq!(out.flips.pairs_with_flips, 1);
+        assert_eq!(out.flips.txns_with_flips, 1);
+        assert_eq!(out.flips.rectify_ms, vec![7]);
+    }
+
+    #[test]
+    fn conflict_with_late_arriving_earlier_committer_normalized() {
+        // T3 [6,9] arrives first; T5 [4,7] second. Reporter must be T5
+        // (smaller commit ts), matching CHRONOS.
+        let y = Key(2);
+        let mut a = checker();
+        a.receive(t(3, 0, 0, 6, 9).put(y, Value(2)).build(), 0);
+        a.receive(t(5, 1, 0, 4, 7).put(y, Value(1)).build(), 0);
+        let out = a.finish();
+        assert_eq!(
+            out.report.violations,
+            vec![Violation::NoConflict { key: y, t1: TxnId(5), t2: TxnId(3) }]
+        );
+    }
+}

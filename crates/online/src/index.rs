@@ -1,0 +1,259 @@
+//! Secondary indexes used by the online checker: per-key event-ordered
+//! reader/writer indexes and the versioned `ongoing` conflict index.
+
+use crate::versioned::VersionedMap;
+use aion_types::{EventKey, FxHashMap, FxHashSet, Key, TxnId};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Reference to one read inside a transaction (index into its read states).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReadRef {
+    /// The reading transaction.
+    pub tid: TxnId,
+    /// Index into the transaction's read-state vector.
+    pub read_idx: u32,
+}
+
+/// Per-key index of items anchored at events, ordered by event.
+#[derive(Clone, Debug)]
+pub struct KeyEventIndex<T> {
+    keys: FxHashMap<Key, BTreeMap<EventKey, Vec<T>>>,
+}
+
+impl<T> Default for KeyEventIndex<T> {
+    fn default() -> Self {
+        KeyEventIndex { keys: FxHashMap::default() }
+    }
+}
+
+impl<T: Clone + PartialEq> KeyEventIndex<T> {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `item` for `key` at `at`.
+    pub fn insert(&mut self, key: Key, at: EventKey, item: T) {
+        self.keys.entry(key).or_default().entry(at).or_default().push(item);
+    }
+
+    /// Items for `key` anchored inside `(lo, hi]`, with their anchor
+    /// events, in event order. The upper bound is inclusive: a reader (or
+    /// writer) anchored exactly at the bounding version's event belongs to
+    /// the transaction that *produced* that version, and its own visible
+    /// snapshot is strictly before its anchor — so it is affected by an
+    /// insertion at `lo` just like anchors strictly inside the window.
+    pub fn range(&self, key: Key, lo: EventKey, hi: EventKey) -> Vec<(EventKey, T)> {
+        let mut out = Vec::new();
+        if let Some(chain) = self.keys.get(&key) {
+            for (e, items) in chain.range((Bound::Excluded(lo), Bound::Included(hi))) {
+                for item in items {
+                    out.push((*e, item.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Drop every entry anchored strictly below `horizon` (GC).
+    pub fn prune_below(&mut self, horizon: EventKey) -> usize {
+        let mut dropped = 0;
+        self.keys.retain(|_, chain| {
+            let old: Vec<EventKey> =
+                chain.range((Bound::Unbounded, Bound::Excluded(horizon))).map(|(e, _)| *e).collect();
+            for e in old {
+                if let Some(items) = chain.remove(&e) {
+                    dropped += items.len();
+                }
+            }
+            !chain.is_empty()
+        });
+        dropped
+    }
+
+    /// Total anchored items (for stats).
+    pub fn len(&self) -> usize {
+        self.keys.values().flat_map(|c| c.values()).map(Vec::len).sum()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// The `ongoing_ts` structure: per key, the set of transactions holding an
+/// uncommitted write at each event of that key. Registering a transaction's
+/// write interval returns every *overlapping* writer — exactly the
+/// NOCONFLICT condition (paper step ②), computed arrival-driven so that
+/// each conflicting pair is reported exactly once (when its second member
+/// arrives).
+#[derive(Clone, Debug, Default)]
+pub struct OngoingIndex {
+    map: VersionedMap<Vec<TxnId>>,
+}
+
+impl OngoingIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register that `tid` writes `key` over `[start, commit]`. Returns the
+    /// distinct transactions whose registered intervals on `key` overlap.
+    /// With `silent`, versions are updated but no overlaps are returned
+    /// (used when re-registering reloaded transactions whose conflicts were
+    /// already reported before they were spilled).
+    pub fn register(
+        &mut self,
+        key: Key,
+        tid: TxnId,
+        start: EventKey,
+        commit: EventKey,
+        silent: bool,
+    ) -> Vec<TxnId> {
+        let base: Vec<TxnId> =
+            self.map.get_before(key, start).map(|(_, v)| v.clone()).unwrap_or_default();
+
+        let mut overlap: FxHashSet<TxnId> = FxHashSet::default();
+        if !silent {
+            overlap.extend(base.iter().copied());
+        }
+        // Existing versions inside the interval: everyone there overlaps us,
+        // and each of those snapshots must now include us.
+        for (_, set) in self.map.range_mut(key, start, commit) {
+            if !silent {
+                overlap.extend(set.iter().copied());
+            }
+            if !set.contains(&tid) {
+                set.push(tid);
+            }
+        }
+        // Version at our start: ongoing just before, plus us.
+        let mut at_start = base;
+        at_start.push(tid);
+        self.map.insert(key, start, at_start);
+        // Version at our commit: ongoing just before commit, minus us.
+        let mut at_commit: Vec<TxnId> = self
+            .map
+            .get_before(key, commit)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default();
+        at_commit.retain(|&t| t != tid);
+        self.map.insert(key, commit, at_commit);
+
+        overlap.remove(&tid);
+        let mut out: Vec<TxnId> = overlap.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Drop versions strictly below `horizon`, keeping per-key bases.
+    pub fn prune_below(&mut self, horizon: EventKey) -> usize {
+        self.map.prune_below(horizon)
+    }
+
+    /// Number of stored versions (for stats).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no interval is registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aion_types::Timestamp;
+
+    fn s(ts: u64, tid: u64) -> EventKey {
+        EventKey::start(Timestamp(ts), TxnId(tid))
+    }
+    fn c(ts: u64, tid: u64) -> EventKey {
+        EventKey::commit(Timestamp(ts), TxnId(tid))
+    }
+
+    #[test]
+    fn key_event_index_range_and_prune() {
+        let mut idx: KeyEventIndex<u32> = KeyEventIndex::new();
+        idx.insert(Key(1), s(10, 1), 100);
+        idx.insert(Key(1), s(20, 2), 200);
+        idx.insert(Key(1), s(20, 2), 201);
+        idx.insert(Key(2), s(15, 3), 300);
+        let got = idx.range(Key(1), s(5, 0), s(25, 9));
+        assert_eq!(got.len(), 3);
+        assert_eq!(idx.len(), 4);
+        let dropped = idx.prune_below(s(20, 2));
+        assert_eq!(dropped, 2); // key1@10 and key2@15
+        assert_eq!(idx.range(Key(1), s(5, 0), s(25, 9)).len(), 2);
+    }
+
+    #[test]
+    fn ongoing_detects_simple_overlap() {
+        let mut idx = OngoingIndex::new();
+        // t1 [1,5], t2 [3,7] on same key: overlap detected when t2 arrives.
+        assert!(idx.register(Key(1), TxnId(1), s(1, 1), c(5, 1), false).is_empty());
+        let conflicts = idx.register(Key(1), TxnId(2), s(3, 2), c(7, 2), false);
+        assert_eq!(conflicts, vec![TxnId(1)]);
+    }
+
+    #[test]
+    fn ongoing_no_overlap_for_disjoint_intervals() {
+        let mut idx = OngoingIndex::new();
+        idx.register(Key(1), TxnId(1), s(1, 1), c(2, 1), false);
+        let conflicts = idx.register(Key(1), TxnId(2), s(3, 2), c(4, 2), false);
+        assert!(conflicts.is_empty());
+    }
+
+    #[test]
+    fn ongoing_out_of_order_arrival_detects_containment() {
+        let mut idx = OngoingIndex::new();
+        // t2 [3,4] arrives first; t1 [1,10] (containing t2) arrives later.
+        idx.register(Key(1), TxnId(2), s(3, 2), c(4, 2), false);
+        let conflicts = idx.register(Key(1), TxnId(1), s(1, 1), c(10, 1), false);
+        assert_eq!(conflicts, vec![TxnId(2)]);
+    }
+
+    #[test]
+    fn ongoing_figure2_example() {
+        // Paper Fig. 2: T5 [4,7] and T3 [6,9] both write y; T2 [3,5] writes x.
+        let y = Key(2);
+        let mut idx = OngoingIndex::new();
+        idx.register(y, TxnId(3), s(6, 3), c(9, 3), false);
+        let conflicts = idx.register(y, TxnId(5), s(4, 5), c(7, 5), false);
+        assert_eq!(conflicts, vec![TxnId(3)]);
+    }
+
+    #[test]
+    fn ongoing_three_way_overlap_counts_pairs_once() {
+        let mut idx = OngoingIndex::new();
+        let mut pairs = 0;
+        pairs += idx.register(Key(1), TxnId(1), s(1, 1), c(4, 1), false).len();
+        pairs += idx.register(Key(1), TxnId(2), s(2, 2), c(5, 2), false).len();
+        pairs += idx.register(Key(1), TxnId(3), s(3, 3), c(6, 3), false).len();
+        assert_eq!(pairs, 3, "each of the 3 pairs exactly once");
+    }
+
+    #[test]
+    fn ongoing_silent_registration_reports_nothing() {
+        let mut idx = OngoingIndex::new();
+        idx.register(Key(1), TxnId(1), s(1, 1), c(4, 1), false);
+        let conflicts = idx.register(Key(1), TxnId(2), s(2, 2), c(5, 2), true);
+        assert!(conflicts.is_empty());
+        // But the silent registration is still visible to later arrivals.
+        let conflicts = idx.register(Key(1), TxnId(3), s(3, 3), c(6, 3), false);
+        assert_eq!(conflicts, vec![TxnId(1), TxnId(2)]);
+    }
+
+    #[test]
+    fn ongoing_different_keys_never_conflict() {
+        let mut idx = OngoingIndex::new();
+        idx.register(Key(1), TxnId(1), s(1, 1), c(5, 1), false);
+        let conflicts = idx.register(Key(2), TxnId(2), s(2, 2), c(6, 2), false);
+        assert!(conflicts.is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! # aion-online — AION
+//!
+//! The online timestamp-based isolation checkers from the paper *"Online
+//! Timestamp-based Transactional Isolation Checking of Database Systems"*
+//! (ICDE 2025): [`OnlineChecker`] implements AION (snapshot isolation) and
+//! AION-SER (serializability) over continuous, out-of-order transaction
+//! streams, with tentative EXT verdicts finalized by timeout, flip-flop
+//! tracking, and spill-to-disk garbage collection.
+//!
+//! ```
+//! use aion_online::{OnlineChecker, feed::{feed_plan, run_plan, FeedConfig}};
+//! use aion_types::{DataKind, Key, TxnBuilder, Value};
+//!
+//! let mut checker = OnlineChecker::new_si(DataKind::Kv);
+//! checker.receive(
+//!     TxnBuilder::new(1).session(0, 0).interval(1, 2).put(Key(1), Value(7)).build(), 0);
+//! checker.receive(
+//!     TxnBuilder::new(2).session(1, 0).interval(3, 4).read(Key(1), Value(7)).build(), 1);
+//! let outcome = checker.finish();
+//! assert!(outcome.is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod checker;
+pub mod feed;
+pub mod index;
+pub mod spill;
+pub mod stats;
+pub mod versioned;
+
+pub use checker::{AionConfig, AionOutcome, Mode, OnlineChecker, OnlineGcPolicy};
+pub use feed::{feed_plan, run_plan, Arrival, FeedConfig, OnlineRunReport};
+pub use spill::{SpillEntry, SpillStore};
+pub use stats::{AionStats, FlipSummary};
+pub use versioned::VersionedMap;

@@ -1,0 +1,159 @@
+//! Flip-flop and runtime statistics for the online checker.
+//!
+//! A *flip-flop* is one switch of a read's tentative EXT verdict
+//! (`⊤ ↔ ⊥`) caused by out-of-order arrivals (paper §VI-C). The paper
+//! reports (a) how many (txn, key) pairs flip how often, (b) how many
+//! unique transactions are involved, and (c) how quickly false
+//! positives/negatives are rectified. [`FlipTracker`] collects exactly
+//! that; detail collection can be disabled for throughput runs.
+
+use aion_types::{FxHashMap, FxHashSet, Key, TxnId};
+
+/// Collects flip-flop events.
+#[derive(Debug, Default)]
+pub struct FlipTracker {
+    detail: bool,
+    total_flips: u64,
+    flips_per_pair: FxHashMap<(TxnId, Key), u32>,
+    txns_with_flips: FxHashSet<TxnId>,
+    rectify_ms: Vec<u64>,
+}
+
+impl FlipTracker {
+    /// A tracker; with `detail`, per-pair histograms and rectification
+    /// latencies are retained (memory ∝ number of flipping pairs).
+    pub fn new(detail: bool) -> FlipTracker {
+        FlipTracker { detail, ..FlipTracker::default() }
+    }
+
+    /// Record one verdict switch for `(tid, key)`. `rectified_after_ms` is
+    /// set when the switch is wrong→ok, giving the false-verdict duration.
+    pub fn record_flip(&mut self, tid: TxnId, key: Key, rectified_after_ms: Option<u64>) {
+        self.total_flips += 1;
+        if self.detail {
+            *self.flips_per_pair.entry((tid, key)).or_insert(0) += 1;
+            self.txns_with_flips.insert(tid);
+            if let Some(ms) = rectified_after_ms {
+                self.rectify_ms.push(ms);
+            }
+        }
+    }
+
+    /// Summarize into histogram form.
+    pub fn summary(&self) -> FlipSummary {
+        let mut flip_histogram = [0usize; 4];
+        for &n in self.flips_per_pair.values() {
+            let bucket = (n as usize).min(4) - 1;
+            flip_histogram[bucket] += 1;
+        }
+        FlipSummary {
+            total_flips: self.total_flips,
+            pairs_with_flips: self.flips_per_pair.len(),
+            txns_with_flips: self.txns_with_flips.len(),
+            flip_histogram,
+            rectify_ms: self.rectify_ms.clone(),
+        }
+    }
+}
+
+/// Aggregated flip-flop statistics (paper Figs. 13, 14, 17–21).
+#[derive(Clone, Debug, Default)]
+pub struct FlipSummary {
+    /// Total verdict switches observed.
+    pub total_flips: u64,
+    /// Number of (txn, key) pairs that flipped at least once.
+    pub pairs_with_flips: usize,
+    /// Number of distinct transactions involved in flips.
+    pub txns_with_flips: usize,
+    /// Pairs flipping exactly 1, 2, 3, and ≥4 times (Fig. 13a buckets).
+    pub flip_histogram: [usize; 4],
+    /// Time (ms) each false verdict took to rectify (Fig. 13b).
+    pub rectify_ms: Vec<u64>,
+}
+
+impl FlipSummary {
+    /// Bucket the rectification times as in Fig. 13b:
+    /// `0–1`, `1–2`, `2–10`, `10–99`, `≥100` ms.
+    pub fn rectify_histogram(&self) -> [usize; 5] {
+        let mut h = [0usize; 5];
+        for &ms in &self.rectify_ms {
+            let b = match ms {
+                0..=1 => 0,
+                2 => 1,
+                3..=10 => 2,
+                11..=99 => 3,
+                _ => 4,
+            };
+            h[b] += 1;
+        }
+        h
+    }
+}
+
+/// Online checker runtime counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AionStats {
+    /// Transactions received.
+    pub received: usize,
+    /// Transactions whose EXT verdicts are final (timeout processed).
+    pub finalized: usize,
+    /// Peak transactions resident in memory.
+    pub peak_resident_txns: usize,
+    /// GC spill passes performed.
+    pub gc_spills: usize,
+    /// Transactions written to the spill store.
+    pub spilled_txns: usize,
+    /// Transactions reloaded from the spill store.
+    pub reloaded_txns: usize,
+    /// Bytes written to the spill store.
+    pub spill_bytes: u64,
+    /// Re-evaluations of reads triggered by out-of-order arrivals.
+    pub reevaluations: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_counts_and_buckets() {
+        let mut t = FlipTracker::new(true);
+        t.record_flip(TxnId(1), Key(1), None); // wrong
+        t.record_flip(TxnId(1), Key(1), Some(5)); // rectified after 5ms
+        t.record_flip(TxnId(2), Key(3), None);
+        let s = t.summary();
+        assert_eq!(s.total_flips, 3);
+        assert_eq!(s.pairs_with_flips, 2);
+        assert_eq!(s.txns_with_flips, 2);
+        assert_eq!(s.flip_histogram, [1, 1, 0, 0]); // one pair flipped once, one twice
+        assert_eq!(s.rectify_ms, vec![5]);
+    }
+
+    #[test]
+    fn histogram_caps_at_four_plus() {
+        let mut t = FlipTracker::new(true);
+        for _ in 0..7 {
+            t.record_flip(TxnId(1), Key(1), None);
+        }
+        assert_eq!(t.summary().flip_histogram, [0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn detail_off_keeps_only_totals() {
+        let mut t = FlipTracker::new(false);
+        t.record_flip(TxnId(1), Key(1), Some(3));
+        let s = t.summary();
+        assert_eq!(s.total_flips, 1);
+        assert_eq!(s.pairs_with_flips, 0);
+        assert!(s.rectify_ms.is_empty());
+    }
+
+    #[test]
+    fn rectify_buckets_match_figure13() {
+        let s = FlipSummary {
+            rectify_ms: vec![0, 1, 2, 5, 10, 50, 99, 100, 1500],
+            ..FlipSummary::default()
+        };
+        assert_eq!(s.rectify_histogram(), [2, 1, 2, 2, 2]);
+    }
+}

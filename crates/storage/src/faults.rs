@@ -1,0 +1,171 @@
+//! Fault injection: producing histories that *violate* isolation.
+//!
+//! §V-D of the paper reproduces a clock-skew bug and injects
+//! timestamp-related faults to show that CHRONOS detects violations that
+//! non-timestamp-based tools miss. Two complementary mechanisms are
+//! provided:
+//!
+//! * **engine faults** ([`FaultPlan`]): the MVCC store misbehaves while
+//!   running — skipping first-committer-wins checks (lost updates), reading
+//!   stale snapshots, or dropping its own write buffer from the read view
+//!   (INT anomalies);
+//! * **history faults** ([`inject_clock_skew`], [`inject_session_break`]):
+//!   post-hoc perturbation of the *recorded* timestamps or session
+//!   metadata, modelling collection-side bugs such as skewed clocks.
+
+use aion_types::{FxHashSet, History, Timestamp};
+
+pub use aion_types::rng::SplitMix64;
+
+/// Probabilistic engine-side fault configuration for [`crate::MvccStore`].
+///
+/// All rates are probabilities in `[0, 1]`; the default plan injects
+/// nothing. Faults are sampled deterministically from `seed` and the
+/// transaction id, so a given (seed, workload) pair always yields the same
+/// violating history.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Probability that a committing transaction skips the
+    /// first-committer-wins conflict check (→ NOCONFLICT violations).
+    pub lost_update_rate: f64,
+    /// Probability that an external read observes the *previous* version
+    /// instead of the latest visible one (→ EXT violations).
+    pub stale_read_rate: f64,
+    /// Probability that a read ignores the transaction's own write buffer
+    /// (→ INT violations).
+    pub int_anomaly_rate: f64,
+    /// RNG seed for deterministic sampling.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan { lost_update_rate: 0.0, stale_read_rate: 0.0, int_anomaly_rate: 0.0, seed: 0 }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when any fault rate is non-zero.
+    pub fn is_active(&self) -> bool {
+        self.lost_update_rate > 0.0 || self.stale_read_rate > 0.0 || self.int_anomaly_rate > 0.0
+    }
+}
+
+/// Shift the *recorded* start timestamps of a fraction of transactions
+/// backwards in time, modelling skewed clocks at collection: the engine
+/// executed correctly against the true timestamps, but the history claims
+/// earlier snapshots — so reads appear to observe values "from the future"
+/// (EXT violations), the signature of the YugabyteDB clock-skew bug.
+///
+/// `rate` is the fraction of transactions perturbed; `magnitude` is the
+/// maximum backwards shift in timestamp units. Perturbed timestamps are kept
+/// unique by skipping shifts that would collide. Returns the number of
+/// transactions perturbed.
+pub fn inject_clock_skew(h: &mut History, rate: f64, magnitude: u64, seed: u64) -> usize {
+    let mut rng = SplitMix64::new(seed ^ 0xc10c);
+    let mut used: FxHashSet<Timestamp> = FxHashSet::default();
+    for t in &h.txns {
+        used.insert(t.start_ts);
+        used.insert(t.commit_ts);
+    }
+    let mut perturbed = 0;
+    for t in &mut h.txns {
+        if !rng.chance(rate) || magnitude == 0 {
+            continue;
+        }
+        let shift = 1 + rng.below(magnitude);
+        let Some(new_raw) = t.start_ts.get().checked_sub(shift) else { continue };
+        let new_ts = Timestamp(new_raw.max(1));
+        if new_ts >= t.start_ts || used.contains(&new_ts) {
+            continue;
+        }
+        used.remove(&t.start_ts);
+        used.insert(new_ts);
+        t.start_ts = new_ts;
+        perturbed += 1;
+    }
+    perturbed
+}
+
+/// Swap the session sequence numbers of adjacent transaction pairs within
+/// sessions, modelling a collector that breaks session order
+/// (→ SESSION violations). Returns the number of swaps performed.
+pub fn inject_session_break(h: &mut History, rate: f64, seed: u64) -> usize {
+    let mut rng = SplitMix64::new(seed ^ 0x5e55);
+    let sessions = h.sessions();
+    let mut swaps = 0;
+    for (_, idxs) in sessions {
+        for pair in idxs.chunks_exact(2) {
+            if rng.chance(rate) {
+                let (a, b) = (pair[0], pair[1]);
+                let sno_a = h.txns[a].sno;
+                let sno_b = h.txns[b].sno;
+                h.txns[a].sno = sno_b;
+                h.txns[b].sno = sno_a;
+                swaps += 1;
+            }
+        }
+    }
+    swaps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aion_types::{DataKind, Key, TxnBuilder, Value};
+
+    fn sample_history(n: u64) -> History {
+        let mut h = History::new(DataKind::Kv);
+        for i in 0..n {
+            h.push(
+                TxnBuilder::new(i + 1)
+                    .session((i % 4) as u32, (i / 4) as u32)
+                    .interval(1000 + i * 100, 1000 + i * 100 + 50)
+                    .put(Key(i % 8), Value(i + 1))
+                    .build(),
+            );
+        }
+        h
+    }
+
+
+
+
+
+    #[test]
+    fn clock_skew_preserves_uniqueness() {
+        let mut h = sample_history(50);
+        let n = inject_clock_skew(&mut h, 0.5, 500, 1);
+        assert!(n > 0, "should perturb something");
+        assert!(h.integrity_issues().is_empty(), "timestamps must stay unique");
+    }
+
+    #[test]
+    fn clock_skew_zero_rate_is_noop() {
+        let mut h = sample_history(20);
+        let orig = h.clone();
+        assert_eq!(inject_clock_skew(&mut h, 0.0, 500, 1), 0);
+        assert_eq!(h, orig);
+    }
+
+    #[test]
+    fn session_break_swaps_snos() {
+        let mut h = sample_history(40);
+        let swaps = inject_session_break(&mut h, 1.0, 2);
+        assert!(swaps > 0);
+        // Sequence numbers inside a session are now out of order somewhere.
+        assert!(!h.integrity_issues().is_empty());
+    }
+
+    #[test]
+    fn default_plan_inactive() {
+        assert!(!FaultPlan::none().is_active());
+        let active = FaultPlan { lost_update_rate: 0.1, ..FaultPlan::default() };
+        assert!(active.is_active());
+    }
+}

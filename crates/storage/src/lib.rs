@@ -1,0 +1,36 @@
+//! # aion-storage
+//!
+//! Transactional storage substrate for the `aion` workspace. The paper
+//! evaluates its checkers on histories collected from TiDB, YugabyteDB and
+//! Dgraph; this crate provides the in-process equivalents that generate
+//! such histories on a laptop:
+//!
+//! * [`MvccStore`] — a multi-version snapshot-isolation engine implementing
+//!   the paper's operational semantics (Algorithm 1) with first-committer
+//!   wins;
+//! * [`TwoPlStore`] — a strict two-phase-locking engine producing
+//!   serializable histories whose serial order equals commit-timestamp
+//!   order;
+//! * [`CentralOracle`] / [`SkewedHlcOracle`] — centralized (TiDB/Dgraph
+//!   style) and decentralized skewed (YugabyteDB style) timestamp oracles;
+//! * [`FaultPlan`] and the history-level injectors — controlled anomaly
+//!   generation for the violation-detection study (§V-D);
+//! * [`Recorder`] — CDC-style history collection with optional wire-cost
+//!   simulation (Fig. 15).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod faults;
+pub mod mvcc;
+pub mod oracle;
+pub mod recorder;
+pub mod store;
+pub mod twopl;
+
+pub use faults::{inject_clock_skew, inject_session_break, FaultPlan, SplitMix64};
+pub use mvcc::{MvccStore, MvccTxn};
+pub use oracle::{CentralOracle, Oracle, SkewedHlcOracle};
+pub use recorder::Recorder;
+pub use store::{CommitError, Store, StoreStats, StoreTxn};
+pub use twopl::{TwoPlStore, TwoPlTxn};

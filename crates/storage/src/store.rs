@@ -1,0 +1,69 @@
+//! Common interface over the transactional storage engines.
+
+use aion_types::{DataKind, Key, SessionId, Snapshot, Transaction, Value};
+use std::fmt;
+
+/// Why a commit (or operation) failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CommitError {
+    /// SI first-committer-wins: a concurrent transaction already committed
+    /// a write to this key (paper Algorithm 1 line 11).
+    Conflict(Key),
+    /// 2PL lock acquisition failed (would deadlock); the transaction was
+    /// aborted and its locks released.
+    LockBusy(Key),
+}
+
+impl fmt::Display for CommitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitError::Conflict(k) => write!(f, "write-write conflict on {k}"),
+            CommitError::LockBusy(k) => write!(f, "lock busy on {k}"),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
+
+/// Counters exposed by every engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreStats {
+    /// Successfully committed transactions.
+    pub commits: u64,
+    /// Aborted transactions (conflicts or lock failures).
+    pub aborts: u64,
+}
+
+/// A transactional storage engine that can run workloads and emit
+/// timestamped transactions for checking.
+pub trait Store: Send + Sync + 'static {
+    /// The in-flight transaction handle type.
+    type Txn: StoreTxn;
+
+    /// Data type served by this store.
+    fn kind(&self) -> DataKind;
+
+    /// Begin a transaction on behalf of session `sid`; `sno` is the
+    /// sequence number the transaction will take *if it commits* (aborted
+    /// transactions do not consume sequence numbers).
+    fn begin(&self, sid: SessionId, sno: u32) -> Self::Txn;
+
+    /// Commit/abort counters.
+    fn stats(&self) -> StoreStats;
+}
+
+/// An in-flight transaction.
+pub trait StoreTxn: Send {
+    /// Read a key, recording the observation in the transaction's ops.
+    fn read(&mut self, key: Key) -> Result<Snapshot, CommitError>;
+
+    /// Buffer a scalar overwrite.
+    fn put(&mut self, key: Key, value: Value) -> Result<(), CommitError>;
+
+    /// Buffer a list append.
+    fn append(&mut self, key: Key, elem: Value) -> Result<(), CommitError>;
+
+    /// Attempt to commit; on success returns the collected transaction
+    /// (with start/commit timestamps) for the history.
+    fn commit(self) -> Result<Transaction, CommitError>;
+}

@@ -1,0 +1,506 @@
+//! Compact binary and human-readable text codecs for histories.
+//!
+//! The binary format is what the online checker's spill-to-disk GC and the
+//! experiment harness's history cache use; it is a simple length-prefixed
+//! LEB128 varint format with a magic header. The text format exists for
+//! examples, golden tests, and eyeballing histories.
+//!
+//! Binary layout:
+//!
+//! ```text
+//! magic  b"AIONH1"                (6 bytes)
+//! kind   u8                       (0 = kv, 1 = list)
+//! count  varint                   number of transactions
+//! txn*   tid sid sno start commit nops (varints) then nops ops
+//! op     tag u8:
+//!          0 read-scalar   key value
+//!          1 read-list     key len elem*
+//!          2 put           key value
+//!          3 append        key elem
+//! ```
+
+use crate::ids::{Key, SessionId, Timestamp, TxnId, Value};
+use crate::op::{DataKind, Mutation, Op, Snapshot};
+use crate::txn::Transaction;
+use crate::History;
+use bytes::{Buf, BufMut, BytesMut};
+use std::fmt;
+
+const MAGIC: &[u8; 6] = b"AIONH1";
+
+/// Errors produced while decoding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CodecError {
+    /// Input ended before a complete value was read.
+    UnexpectedEof,
+    /// The magic header did not match.
+    BadMagic,
+    /// An unknown data-kind byte.
+    BadKind(u8),
+    /// An unknown operation tag.
+    BadTag(u8),
+    /// A varint longer than 10 bytes (corrupt input).
+    VarintOverflow,
+    /// Text parse error with line number and message.
+    Text(usize, String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::BadMagic => write!(f, "bad magic header"),
+            CodecError::BadKind(k) => write!(f, "unknown data kind byte {k}"),
+            CodecError::BadTag(t) => write!(f, "unknown op tag {t}"),
+            CodecError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            CodecError::Text(line, msg) => write!(f, "text parse error on line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append a LEB128 varint to `buf`.
+pub fn put_varint(buf: &mut impl BufMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint from `buf`.
+pub fn get_varint(buf: &mut impl Buf) -> Result<u64, CodecError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(CodecError::VarintOverflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Encode a snapshot (used by the online checker's spill files).
+pub fn put_snapshot(buf: &mut impl BufMut, s: &Snapshot) {
+    match s {
+        Snapshot::Scalar(v) => {
+            buf.put_u8(0);
+            put_varint(buf, v.0);
+        }
+        Snapshot::List(l) => {
+            buf.put_u8(1);
+            put_varint(buf, l.len() as u64);
+            for e in l.elems() {
+                put_varint(buf, e.0);
+            }
+        }
+    }
+}
+
+/// Decode a snapshot (used by the online checker's spill files).
+pub fn get_snapshot(buf: &mut impl Buf) -> Result<Snapshot, CodecError> {
+    if !buf.has_remaining() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    match buf.get_u8() {
+        0 => Ok(Snapshot::Scalar(Value(get_varint(buf)?))),
+        1 => {
+            let n = get_varint(buf)? as usize;
+            let mut elems = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                elems.push(Value(get_varint(buf)?));
+            }
+            Ok(Snapshot::List(elems.into()))
+        }
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+/// Encode one operation.
+pub fn put_op(buf: &mut impl BufMut, op: &Op) {
+    match op {
+        Op::Read { key, value } => match value {
+            Snapshot::Scalar(v) => {
+                buf.put_u8(0);
+                put_varint(buf, key.0);
+                put_varint(buf, v.0);
+            }
+            Snapshot::List(l) => {
+                buf.put_u8(1);
+                put_varint(buf, key.0);
+                put_varint(buf, l.len() as u64);
+                for e in l.elems() {
+                    put_varint(buf, e.0);
+                }
+            }
+        },
+        Op::Write { key, mutation } => match mutation {
+            Mutation::Put(v) => {
+                buf.put_u8(2);
+                put_varint(buf, key.0);
+                put_varint(buf, v.0);
+            }
+            Mutation::Append(v) => {
+                buf.put_u8(3);
+                put_varint(buf, key.0);
+                put_varint(buf, v.0);
+            }
+        },
+    }
+}
+
+/// Decode one operation.
+pub fn get_op(buf: &mut impl Buf) -> Result<Op, CodecError> {
+    if !buf.has_remaining() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let tag = buf.get_u8();
+    let key = Key(get_varint(buf)?);
+    match tag {
+        0 => Ok(Op::read(key, Value(get_varint(buf)?))),
+        1 => {
+            let n = get_varint(buf)? as usize;
+            let mut elems = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                elems.push(Value(get_varint(buf)?));
+            }
+            Ok(Op::read_list(key, elems))
+        }
+        2 => Ok(Op::put(key, Value(get_varint(buf)?))),
+        3 => Ok(Op::append(key, Value(get_varint(buf)?))),
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+/// Encode a transaction (used standalone by the spill files).
+pub fn put_txn(buf: &mut impl BufMut, t: &Transaction) {
+    put_varint(buf, t.tid.0);
+    put_varint(buf, u64::from(t.sid.0));
+    put_varint(buf, u64::from(t.sno));
+    put_varint(buf, t.start_ts.0);
+    put_varint(buf, t.commit_ts.0);
+    put_varint(buf, t.ops.len() as u64);
+    for op in &t.ops {
+        put_op(buf, op);
+    }
+}
+
+/// Decode a transaction.
+pub fn get_txn(buf: &mut impl Buf) -> Result<Transaction, CodecError> {
+    let tid = TxnId(get_varint(buf)?);
+    let sid = SessionId(get_varint(buf)? as u32);
+    let sno = get_varint(buf)? as u32;
+    let start_ts = Timestamp(get_varint(buf)?);
+    let commit_ts = Timestamp(get_varint(buf)?);
+    let nops = get_varint(buf)? as usize;
+    let mut ops = Vec::with_capacity(nops.min(1 << 20));
+    for _ in 0..nops {
+        ops.push(get_op(buf)?);
+    }
+    Ok(Transaction { tid, sid, sno, start_ts, commit_ts, ops })
+}
+
+/// Encode a whole history to bytes.
+pub fn encode_history(h: &History) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64 + h.txns.len() * 32);
+    buf.put_slice(MAGIC);
+    buf.put_u8(match h.kind {
+        DataKind::Kv => 0,
+        DataKind::List => 1,
+    });
+    put_varint(&mut buf, h.txns.len() as u64);
+    for t in &h.txns {
+        put_txn(&mut buf, t);
+    }
+    buf.to_vec()
+}
+
+/// Decode a history from bytes.
+pub fn decode_history(mut data: &[u8]) -> Result<History, CodecError> {
+    if data.remaining() < MAGIC.len() + 1 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mut magic = [0u8; 6];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let kind = match data.get_u8() {
+        0 => DataKind::Kv,
+        1 => DataKind::List,
+        k => return Err(CodecError::BadKind(k)),
+    };
+    let count = get_varint(&mut data)? as usize;
+    let mut h = History::new(kind);
+    h.txns.reserve(count.min(1 << 24));
+    for _ in 0..count {
+        h.push(get_txn(&mut data)?);
+    }
+    Ok(h)
+}
+
+/// Render a history in the line-oriented text format.
+///
+/// ```text
+/// # aion-history kind=kv
+/// T t1 s0 n0 [10,20] w(k1)=5 r(k2)=0
+/// ```
+pub fn emit_text(h: &History) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let kind = match h.kind {
+        DataKind::Kv => "kv",
+        DataKind::List => "list",
+    };
+    let _ = writeln!(out, "# aion-history kind={kind}");
+    for t in &h.txns {
+        let _ = write!(out, "T t{} s{} n{} [{},{}]", t.tid.0, t.sid.0, t.sno, t.start_ts, t.commit_ts);
+        for op in &t.ops {
+            let _ = write!(out, " {op:?}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Parse the text format produced by [`emit_text`].
+pub fn parse_text(input: &str) -> Result<History, CodecError> {
+    let mut kind = DataKind::Kv;
+    let mut h: Option<History> = None;
+    for (ln, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = ln + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some(k) = rest.split("kind=").nth(1) {
+                kind = match k.trim() {
+                    "kv" => DataKind::Kv,
+                    "list" => DataKind::List,
+                    other => {
+                        return Err(CodecError::Text(lineno, format!("unknown kind '{other}'")))
+                    }
+                };
+            }
+            continue;
+        }
+        let h = h.get_or_insert_with(|| History::new(kind));
+        h.kind = kind;
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap_or("");
+        if tag != "T" {
+            return Err(CodecError::Text(lineno, format!("expected 'T', got '{tag}'")));
+        }
+        let err = |m: &str| CodecError::Text(lineno, m.to_string());
+        let tid = parts
+            .next()
+            .and_then(|s| s.strip_prefix('t'))
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| err("bad tid"))?;
+        let sid = parts
+            .next()
+            .and_then(|s| s.strip_prefix('s'))
+            .and_then(|s| s.parse::<u32>().ok())
+            .ok_or_else(|| err("bad sid"))?;
+        let sno = parts
+            .next()
+            .and_then(|s| s.strip_prefix('n'))
+            .and_then(|s| s.parse::<u32>().ok())
+            .ok_or_else(|| err("bad sno"))?;
+        let interval = parts.next().ok_or_else(|| err("missing interval"))?;
+        let inner = interval
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| err("bad interval"))?;
+        let (s, c) = inner.split_once(',').ok_or_else(|| err("bad interval"))?;
+        let start = s.parse::<u64>().map_err(|_| err("bad start ts"))?;
+        let commit = c.parse::<u64>().map_err(|_| err("bad commit ts"))?;
+        let mut ops = Vec::new();
+        for tok in parts {
+            ops.push(parse_op(tok).map_err(|m| CodecError::Text(lineno, m))?);
+        }
+        h.push(Transaction {
+            tid: TxnId(tid),
+            sid: SessionId(sid),
+            sno,
+            start_ts: Timestamp(start),
+            commit_ts: Timestamp(commit),
+            ops,
+        });
+    }
+    Ok(h.unwrap_or_else(|| History::new(kind)))
+}
+
+fn parse_op(tok: &str) -> Result<Op, String> {
+    // Forms: r(k1)=5, r(k1)=[1,2], w(k1)=5, a(k1)+=5
+    let bad = || format!("bad op '{tok}'");
+    if let Some(rest) = tok.strip_prefix("r(") {
+        let (k, v) = rest.split_once(")=").ok_or_else(bad)?;
+        let key = Key(k.strip_prefix('k').ok_or_else(bad)?.parse().map_err(|_| bad())?);
+        if let Some(list) = v.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let elems: Result<Vec<Value>, _> = if list.is_empty() {
+                Ok(Vec::new())
+            } else {
+                list.split(',').map(|e| e.parse::<u64>().map(Value)).collect()
+            };
+            Ok(Op::read_list(key, elems.map_err(|_| bad())?))
+        } else {
+            Ok(Op::read(key, Value(v.parse().map_err(|_| bad())?)))
+        }
+    } else if let Some(rest) = tok.strip_prefix("w(") {
+        let (k, v) = rest.split_once(")=").ok_or_else(bad)?;
+        let key = Key(k.strip_prefix('k').ok_or_else(bad)?.parse().map_err(|_| bad())?);
+        Ok(Op::put(key, Value(v.parse().map_err(|_| bad())?)))
+    } else if let Some(rest) = tok.strip_prefix("a(") {
+        let (k, v) = rest.split_once(")+=").ok_or_else(bad)?;
+        let key = Key(k.strip_prefix('k').ok_or_else(bad)?.parse().map_err(|_| bad())?);
+        Ok(Op::append(key, Value(v.parse().map_err(|_| bad())?)))
+    } else {
+        Err(bad())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::TxnBuilder;
+
+    fn sample_kv() -> History {
+        let mut h = History::new(DataKind::Kv);
+        h.push(
+            TxnBuilder::new(1)
+                .session(0, 0)
+                .interval(10, 20)
+                .put(Key(1), Value(5))
+                .read(Key(2), Value(0))
+                .build(),
+        );
+        h.push(
+            TxnBuilder::new(2)
+                .session(1, 0)
+                .interval(30, 40)
+                .read(Key(1), Value(5))
+                .build(),
+        );
+        h
+    }
+
+    fn sample_list() -> History {
+        let mut h = History::new(DataKind::List);
+        h.push(
+            TxnBuilder::new(1)
+                .session(0, 0)
+                .interval(10, 20)
+                .append(Key(1), Value(5))
+                .read_list(Key(1), vec![Value(5)])
+                .read_list(Key(2), vec![])
+                .build(),
+        );
+        h
+    }
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 255, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut slice = &buf[..];
+            assert_eq!(get_varint(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_eof_and_overflow() {
+        let mut empty: &[u8] = &[];
+        assert_eq!(get_varint(&mut empty), Err(CodecError::UnexpectedEof));
+        let mut long: &[u8] = &[0x80; 11];
+        assert_eq!(get_varint(&mut long), Err(CodecError::VarintOverflow));
+    }
+
+    #[test]
+    fn binary_roundtrip_kv() {
+        let h = sample_kv();
+        let bytes = encode_history(&h);
+        assert_eq!(decode_history(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn binary_roundtrip_list() {
+        let h = sample_list();
+        let bytes = encode_history(&h);
+        assert_eq!(decode_history(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut bytes = encode_history(&sample_kv());
+        bytes[0] = b'X';
+        assert_eq!(decode_history(&bytes), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let bytes = encode_history(&sample_kv());
+        for cut in [3, 8, bytes.len() - 1] {
+            assert!(decode_history(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_kv() {
+        let h = sample_kv();
+        let text = emit_text(&h);
+        assert_eq!(parse_text(&text).unwrap(), h);
+    }
+
+    #[test]
+    fn text_roundtrip_list() {
+        let h = sample_list();
+        let text = emit_text(&h);
+        assert!(text.contains("kind=list"));
+        assert_eq!(parse_text(&text).unwrap(), h);
+    }
+
+    #[test]
+    fn text_reports_line_numbers() {
+        let bad = "# aion-history kind=kv\nT t1 sX n0 [1,2]";
+        match parse_text(bad) {
+            Err(CodecError::Text(2, _)) => {}
+            other => panic!("expected line-2 error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_empty_input_is_empty_history() {
+        let h = parse_text("").unwrap();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn standalone_txn_roundtrip() {
+        let t = TxnBuilder::new(9)
+            .session(2, 4)
+            .interval(7, 7)
+            .read(Key(3), Value(1))
+            .build();
+        let mut buf = BytesMut::new();
+        put_txn(&mut buf, &t);
+        let mut slice = &buf[..];
+        assert_eq!(get_txn(&mut slice).unwrap(), t);
+    }
+}

@@ -1,0 +1,233 @@
+//! Identifier and timestamp newtypes shared across the workspace.
+//!
+//! All identifiers are thin wrappers over integers so that they are `Copy`,
+//! hash quickly (see [`crate::fxhash`]) and serialize compactly (see
+//! [`crate::codec`]). The paper's notation maps as follows:
+//!
+//! | paper | type |
+//! |-------|------|
+//! | `T.tid` | [`TxnId`] |
+//! | `T.sid` | [`SessionId`] |
+//! | `T.sno` | `u32` sequence number inside a session |
+//! | `T.start_ts`, `T.commit_ts` | [`Timestamp`] |
+//! | `⊥ts` (minimum timestamp) | [`Timestamp::MIN`] |
+
+use std::fmt;
+
+/// A logical timestamp issued by a timestamp oracle.
+///
+/// Timestamps are totally ordered and unique per issued event, except that a
+/// read-only transaction may reuse its start timestamp as its commit
+/// timestamp (paper Eq. (1) allows `start_ts == commit_ts`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The paper's `⊥ts`: strictly smaller than every oracle-issued timestamp.
+    pub const MIN: Timestamp = Timestamp(0);
+    /// Largest representable timestamp; useful as a range sentinel.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Raw value accessor, for arithmetic in oracles and tests.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts{}", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Unique transaction identifier within a history.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TxnId(pub u64);
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Unique session (client connection) identifier within a history.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SessionId(pub u32);
+
+impl fmt::Debug for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A key in the key-value (or key-list) space.
+///
+/// Application workloads with structured keys (e.g. TPC-C composite primary
+/// keys) pack them into the 64-bit space; see `aion-workload`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Key(pub u64);
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// A scalar value written to or read from a key.
+///
+/// `Value(0)` is reserved as the initial value written by the paper's
+/// implicit initial transaction `⊥T`; workload generators only emit values
+/// `>= 1` so that unique-value assumptions (needed by the Elle/Cobra
+/// baselines) can hold.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Value(pub u64);
+
+impl Value {
+    /// The initial value of every key, conceptually written by `⊥T`.
+    pub const INIT: Value = Value(0);
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Whether an event is the start or the commit of a transaction.
+///
+/// `Start` orders before `Commit` so that a read-only transaction with
+/// `start_ts == commit_ts` processes its start event first.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum EventKind {
+    /// The transaction's start event (snapshot acquisition).
+    Start,
+    /// The transaction's commit event (write publication).
+    Commit,
+}
+
+/// A totally ordered key identifying one start/commit event in a history.
+///
+/// Ordering is `(ts, kind, tid)`: timestamp first, `Start` before `Commit`
+/// at equal timestamps, and transaction id as a final tiebreak so that the
+/// order is total even for malformed histories with colliding timestamps
+/// (which the checkers report as integrity violations instead of panicking).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EventKey {
+    /// The timestamp at which the event occurs.
+    pub ts: Timestamp,
+    /// Start or commit.
+    pub kind: EventKind,
+    /// Owning transaction.
+    pub tid: TxnId,
+}
+
+impl EventKey {
+    /// The start event of a transaction.
+    #[inline]
+    pub fn start(ts: Timestamp, tid: TxnId) -> Self {
+        EventKey { ts, kind: EventKind::Start, tid }
+    }
+
+    /// The commit event of a transaction.
+    #[inline]
+    pub fn commit(ts: Timestamp, tid: TxnId) -> Self {
+        EventKey { ts, kind: EventKind::Commit, tid }
+    }
+
+    /// The smallest possible event key, below any real event.
+    pub const ZERO: EventKey =
+        EventKey { ts: Timestamp::MIN, kind: EventKind::Start, tid: TxnId(0) };
+
+    /// The largest possible event key, above any real event.
+    pub const INFINITY: EventKey =
+        EventKey { ts: Timestamp::MAX, kind: EventKind::Commit, tid: TxnId(u64::MAX) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_ordering_and_bounds() {
+        assert!(Timestamp::MIN < Timestamp(1));
+        assert!(Timestamp(1) < Timestamp(2));
+        assert!(Timestamp(2) < Timestamp::MAX);
+        assert_eq!(Timestamp(7).get(), 7);
+    }
+
+    #[test]
+    fn event_key_orders_start_before_commit_at_equal_ts() {
+        let s = EventKey::start(Timestamp(5), TxnId(1));
+        let c = EventKey::commit(Timestamp(5), TxnId(1));
+        assert!(s < c);
+    }
+
+    #[test]
+    fn event_key_orders_primarily_by_timestamp() {
+        let c_early = EventKey::commit(Timestamp(4), TxnId(9));
+        let s_late = EventKey::start(Timestamp(5), TxnId(1));
+        assert!(c_early < s_late);
+    }
+
+    #[test]
+    fn event_key_tiebreaks_on_tid() {
+        let a = EventKey::start(Timestamp(5), TxnId(1));
+        let b = EventKey::start(Timestamp(5), TxnId(2));
+        assert!(a < b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn event_key_sentinels_bound_all_events() {
+        let e = EventKey::commit(Timestamp(123), TxnId(77));
+        assert!(EventKey::ZERO < e);
+        assert!(e < EventKey::INFINITY);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", TxnId(3)), "t3");
+        assert_eq!(format!("{}", SessionId(2)), "s2");
+        assert_eq!(format!("{}", Key(11)), "k11");
+        assert_eq!(format!("{}", Value(4)), "4");
+        assert_eq!(format!("{:?}", Timestamp(9)), "ts9");
+    }
+}

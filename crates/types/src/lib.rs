@@ -1,0 +1,35 @@
+//! # aion-types
+//!
+//! Core domain types for the `aion` isolation-checking workspace — a Rust
+//! reproduction of *"Online Timestamp-based Transactional Isolation Checking
+//! of Database Systems"* (ICDE 2025): timestamps and identifiers, the
+//! generalized key-value/list data model, transactions and histories,
+//! violation reports, binary/text codecs, and a fast hasher for the
+//! integer-keyed maps that dominate the checkers' hot paths.
+//!
+//! Everything here is deliberately dependency-light so that every other
+//! crate (storage engines, checkers, baselines, benchmarks) can share one
+//! vocabulary.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+pub mod fxhash;
+pub mod rng;
+mod history;
+mod ids;
+mod op;
+mod txn;
+mod violation;
+
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use rng::{NormalSampler, SplitMix64};
+pub use history::{History, HistoryStats, IntegrityIssue};
+pub use ids::{EventKey, EventKind, Key, SessionId, Timestamp, TxnId, Value};
+pub use op::{
+    apply, base_independent, classify_mismatch, expected_read, DataKind, ListValue,
+    MismatchAxiom, Mutation, Op, Snapshot,
+};
+pub use txn::{Transaction, TxnBuilder};
+pub use violation::{AxiomKind, CheckReport, Violation};

@@ -1,0 +1,147 @@
+//! Small deterministic random-number utilities shared across the workspace.
+//!
+//! Experiments must be reproducible from a seed (the paper's flip-flop and
+//! delay studies are distribution-parameterized), so the workspace uses an
+//! explicit, dependency-free PRNG for everything that affects recorded
+//! histories or arrival orders: SplitMix64 for uniform bits and a
+//! Box–Muller transform for the normally distributed collection delays of
+//! §VI-C.
+
+/// SplitMix64: tiny, fast, well-distributed 64-bit PRNG (public-domain
+/// algorithm by Sebastiano Vigna). Not cryptographic.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.next_f64() < p
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift range reduction; bias is negligible for n ≪ 2^64.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Fork an independent stream (e.g. one per transaction id).
+    pub fn fork(&self, stream: u64) -> SplitMix64 {
+        SplitMix64::new(self.state ^ stream.wrapping_mul(0xd1b5_4a32_d192_ed03))
+    }
+}
+
+/// Normal (Gaussian) sampler via the Box–Muller transform, used for the
+/// per-transaction collection delays `N(µ, σ²)` of the flip-flop study.
+#[derive(Clone, Copy, Debug)]
+pub struct NormalSampler {
+    mean: f64,
+    std_dev: f64,
+    cached: Option<f64>,
+}
+
+impl NormalSampler {
+    /// A sampler for `N(mean, std_dev²)`.
+    pub fn new(mean: f64, std_dev: f64) -> NormalSampler {
+        NormalSampler { mean, std_dev, cached: None }
+    }
+
+    /// Draw one sample.
+    pub fn sample(&mut self, rng: &mut SplitMix64) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return self.mean + self.std_dev * z;
+        }
+        // Box–Muller: two uniforms → two independent standard normals.
+        let u1 = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE); // avoid ln(0)
+        let u2 = rng.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        let z0 = r * theta.cos();
+        let z1 = r * theta.sin();
+        self.cached = Some(z1);
+        self.mean + self.std_dev * z0
+    }
+
+    /// Draw one sample clamped below at zero (delays cannot be negative).
+    pub fn sample_non_negative(&mut self, rng: &mut SplitMix64) -> f64 {
+        self.sample(rng).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_deterministic_and_forkable() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut f1 = a.fork(7);
+        let mut f2 = b.fork(7);
+        assert_eq!(f1.next_u64(), f2.next_u64());
+        let mut f3 = a.fork(8);
+        assert_ne!(f1.next_u64(), f3.next_u64());
+    }
+
+    #[test]
+    fn unit_interval_and_bounds() {
+        let mut r = SplitMix64::new(2);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = SplitMix64::new(42);
+        let mut n = NormalSampler::new(100.0, 10.0);
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
+        assert!((var.sqrt() - 10.0).abs() < 0.5, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn non_negative_sampling() {
+        let mut rng = SplitMix64::new(5);
+        let mut n = NormalSampler::new(0.0, 50.0);
+        for _ in 0..1000 {
+            assert!(n.sample_non_negative(&mut rng) >= 0.0);
+        }
+    }
+}

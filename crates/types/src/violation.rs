@@ -1,0 +1,325 @@
+//! Violations of the SI/SER axioms and the report type shared by all
+//! checkers in the workspace.
+
+use crate::fxhash::FxHashMap;
+use crate::ids::{Key, SessionId, Timestamp, TxnId};
+use crate::op::Snapshot;
+use std::fmt;
+
+/// The axiom (or integrity rule) a violation falls under.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum AxiomKind {
+    /// SESSION: session order must be respected by visibility.
+    Session,
+    /// INT: internal reads must observe the transaction's own effects.
+    Int,
+    /// EXT: external reads must observe the last committed value.
+    Ext,
+    /// NOCONFLICT: concurrent transactions must not write the same key.
+    NoConflict,
+    /// Structural / collection integrity (Eq. (1), duplicate ids, ...).
+    Integrity,
+}
+
+impl fmt::Display for AxiomKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AxiomKind::Session => "SESSION",
+            AxiomKind::Int => "INT",
+            AxiomKind::Ext => "EXT",
+            AxiomKind::NoConflict => "NOCONFLICT",
+            AxiomKind::Integrity => "INTEGRITY",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One concrete violation with enough context to debug the offending
+/// transactions. Checkers report *all* violations rather than stopping at
+/// the first (paper §III-B2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Violation {
+    /// SESSION: the transaction does not follow its session predecessor, or
+    /// starts before its predecessor committed.
+    Session {
+        /// Offending transaction.
+        tid: TxnId,
+        /// Its session.
+        sid: SessionId,
+        /// Sequence number expected next in the session.
+        expected_sno: u32,
+        /// Sequence number found.
+        found_sno: u32,
+        /// The transaction's start timestamp.
+        start_ts: Timestamp,
+        /// Commit timestamp of the session's previous transaction.
+        last_commit_ts: Timestamp,
+    },
+    /// INT: an internal read disagrees with the transaction's own effects.
+    Int {
+        /// Offending transaction.
+        tid: TxnId,
+        /// Key read.
+        key: Key,
+        /// Index of the read in `ops`.
+        op_index: usize,
+        /// Value implied by the transaction's own earlier operations.
+        expected: Snapshot,
+        /// Value actually observed.
+        observed: Snapshot,
+    },
+    /// EXT: an external read disagrees with the last committed value.
+    Ext {
+        /// Offending transaction.
+        tid: TxnId,
+        /// Key read.
+        key: Key,
+        /// Index of the read in `ops`.
+        op_index: usize,
+        /// The frontier value the read should have observed.
+        expected: Snapshot,
+        /// Value actually observed.
+        observed: Snapshot,
+    },
+    /// NOCONFLICT: two concurrent transactions wrote the same key.
+    NoConflict {
+        /// Key written by both.
+        key: Key,
+        /// The transaction committing first (reporter).
+        t1: TxnId,
+        /// The overlapping transaction.
+        t2: TxnId,
+    },
+    /// Eq. (1) violated: `start_ts > commit_ts`.
+    TimestampOrder {
+        /// Offending transaction.
+        tid: TxnId,
+        /// Its start timestamp.
+        start_ts: Timestamp,
+        /// Its commit timestamp.
+        commit_ts: Timestamp,
+    },
+    /// Two distinct transactions own the same timestamp.
+    DuplicateTimestamp {
+        /// The shared timestamp.
+        ts: Timestamp,
+        /// First owner encountered.
+        t1: TxnId,
+        /// Second owner encountered.
+        t2: TxnId,
+    },
+    /// A transaction id appeared twice in the history.
+    DuplicateTid {
+        /// The repeated id.
+        tid: TxnId,
+    },
+}
+
+impl Violation {
+    /// Which axiom the violation belongs to.
+    pub fn kind(&self) -> AxiomKind {
+        match self {
+            Violation::Session { .. } => AxiomKind::Session,
+            Violation::Int { .. } => AxiomKind::Int,
+            Violation::Ext { .. } => AxiomKind::Ext,
+            Violation::NoConflict { .. } => AxiomKind::NoConflict,
+            Violation::TimestampOrder { .. }
+            | Violation::DuplicateTimestamp { .. }
+            | Violation::DuplicateTid { .. } => AxiomKind::Integrity,
+        }
+    }
+
+    /// The transaction primarily responsible, when one exists.
+    pub fn tid(&self) -> Option<TxnId> {
+        match self {
+            Violation::Session { tid, .. }
+            | Violation::Int { tid, .. }
+            | Violation::Ext { tid, .. }
+            | Violation::TimestampOrder { tid, .. }
+            | Violation::DuplicateTid { tid } => Some(*tid),
+            Violation::NoConflict { t1, .. } => Some(*t1),
+            Violation::DuplicateTimestamp { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Session { tid, sid, expected_sno, found_sno, start_ts, last_commit_ts } => {
+                write!(
+                    f,
+                    "SESSION: {tid} in {sid} (sno {found_sno}, expected {expected_sno}; \
+                     starts at {start_ts} but predecessor committed at {last_commit_ts})"
+                )
+            }
+            Violation::Int { tid, key, op_index, expected, observed } => write!(
+                f,
+                "INT: {tid} op#{op_index} read {key} = {observed:?}, own effects say {expected:?}"
+            ),
+            Violation::Ext { tid, key, op_index, expected, observed } => write!(
+                f,
+                "EXT: {tid} op#{op_index} read {key} = {observed:?}, frontier says {expected:?}"
+            ),
+            Violation::NoConflict { key, t1, t2 } => {
+                write!(f, "NOCONFLICT: {t1} and {t2} concurrently wrote {key}")
+            }
+            Violation::TimestampOrder { tid, start_ts, commit_ts } => {
+                write!(f, "INTEGRITY: {tid} has start_ts {start_ts} > commit_ts {commit_ts}")
+            }
+            Violation::DuplicateTimestamp { ts, t1, t2 } => {
+                write!(f, "INTEGRITY: timestamp {ts} owned by both {t1} and {t2}")
+            }
+            Violation::DuplicateTid { tid } => {
+                write!(f, "INTEGRITY: transaction id {tid} appears more than once")
+            }
+        }
+    }
+}
+
+/// The outcome of a checking run: every violation found, plus counters.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// All violations in report order.
+    pub violations: Vec<Violation>,
+    counts: FxHashMap<AxiomKind, usize>,
+}
+
+impl CheckReport {
+    /// An empty (passing) report.
+    pub fn new() -> CheckReport {
+        CheckReport::default()
+    }
+
+    /// Record a violation.
+    pub fn push(&mut self, v: Violation) {
+        *self.counts.entry(v.kind()).or_insert(0) += 1;
+        self.violations.push(v);
+    }
+
+    /// True when no violation was found: the history satisfies the checked
+    /// isolation level (under timestamp-based arbitration/visibility).
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total number of violations.
+    pub fn len(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// True when the report holds no violations.
+    pub fn is_empty(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of violations of one axiom.
+    pub fn count(&self, kind: AxiomKind) -> usize {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: CheckReport) {
+        for v in other.violations {
+            self.push(v);
+        }
+    }
+
+    /// One-line summary, e.g. `FAIL: 3 violations (EXT:2 NOCONFLICT:1)`.
+    pub fn summary(&self) -> String {
+        if self.is_ok() {
+            return "OK: no violations".to_string();
+        }
+        let mut parts: Vec<String> = self
+            .counts
+            .iter()
+            .map(|(k, c)| format!("{k}:{c}"))
+            .collect();
+        parts.sort();
+        format!("FAIL: {} violations ({})", self.violations.len(), parts.join(" "))
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.summary())?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Value;
+
+    fn ext(tid: u64) -> Violation {
+        Violation::Ext {
+            tid: TxnId(tid),
+            key: Key(1),
+            op_index: 0,
+            expected: Snapshot::Scalar(Value(1)),
+            observed: Snapshot::Scalar(Value(2)),
+        }
+    }
+
+    #[test]
+    fn report_counts_by_kind() {
+        let mut r = CheckReport::new();
+        assert!(r.is_ok());
+        r.push(ext(1));
+        r.push(ext(2));
+        r.push(Violation::NoConflict { key: Key(1), t1: TxnId(1), t2: TxnId(2) });
+        assert!(!r.is_ok());
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.count(AxiomKind::Ext), 2);
+        assert_eq!(r.count(AxiomKind::NoConflict), 1);
+        assert_eq!(r.count(AxiomKind::Int), 0);
+    }
+
+    #[test]
+    fn summary_formats() {
+        let mut r = CheckReport::new();
+        assert_eq!(r.summary(), "OK: no violations");
+        r.push(ext(1));
+        assert!(r.summary().starts_with("FAIL: 1 violations"));
+        assert!(r.summary().contains("EXT:1"));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CheckReport::new();
+        a.push(ext(1));
+        let mut b = CheckReport::new();
+        b.push(ext(2));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.count(AxiomKind::Ext), 2);
+    }
+
+    #[test]
+    fn violation_kind_mapping() {
+        assert_eq!(ext(1).kind(), AxiomKind::Ext);
+        let v = Violation::TimestampOrder {
+            tid: TxnId(1),
+            start_ts: Timestamp(5),
+            commit_ts: Timestamp(4),
+        };
+        assert_eq!(v.kind(), AxiomKind::Integrity);
+        assert_eq!(v.tid(), Some(TxnId(1)));
+        let d = Violation::DuplicateTimestamp { ts: Timestamp(1), t1: TxnId(1), t2: TxnId(2) };
+        assert_eq!(d.tid(), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = format!("{}", ext(9));
+        assert!(s.contains("EXT"));
+        assert!(s.contains("t9"));
+        assert!(s.contains("k1"));
+    }
+}

@@ -1,0 +1,139 @@
+//! RUBiS: an eBay-like auction site (paper §V-A1: 200 users, 800 items).
+//! Users register, list items, place bids, and leave comments.
+
+use super::pack_key;
+use crate::templates::{OpTemplate, TxnTemplate};
+use aion_types::SplitMix64;
+
+const TAG_USER: u8 = 10;
+const TAG_ITEM: u8 = 11;
+const TAG_TOP_BID: u8 = 12;
+const TAG_BID: u8 = 13;
+const TAG_COMMENT: u8 = 14;
+
+/// RUBiS workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RubisParams {
+    /// Initial marketplace users.
+    pub users: u64,
+    /// Initial listed items.
+    pub items: u64,
+    /// Seed for deterministic generation.
+    pub seed: u64,
+}
+
+impl Default for RubisParams {
+    fn default() -> Self {
+        RubisParams { users: 200, items: 800, seed: 42 }
+    }
+}
+
+/// Generate `n_txns` RUBiS transactions.
+///
+/// Mix: 40 % view-item, 25 % place-bid, 15 % browse, 10 % comment,
+/// 5 % register-user, 5 % list-item.
+pub fn rubis_templates(n_txns: usize, params: &RubisParams) -> Vec<TxnTemplate> {
+    let mut rng = SplitMix64::new(params.seed ^ 0x2b1d);
+    let mut users = params.users.max(1);
+    let mut items = params.items.max(1);
+    let mut bid_seq: Vec<u64> = vec![0; items as usize];
+    let mut comment_seq: Vec<u64> = vec![0; users as usize];
+
+    let mut out = Vec::with_capacity(n_txns);
+    for _ in 0..n_txns {
+        let roll = rng.next_f64();
+        let mut ops = Vec::new();
+        if roll < 0.40 {
+            // View item: item row + current top bid.
+            let i = rng.below(items);
+            ops.push(OpTemplate::Read(pack_key(TAG_ITEM, i, 0)));
+            ops.push(OpTemplate::Read(pack_key(TAG_TOP_BID, i, 0)));
+        } else if roll < 0.65 {
+            // Place bid: read item and top bid, write new top bid and a
+            // fresh bid row.
+            let i = rng.below(items);
+            ops.push(OpTemplate::Read(pack_key(TAG_ITEM, i, 0)));
+            ops.push(OpTemplate::Read(pack_key(TAG_TOP_BID, i, 0)));
+            ops.push(OpTemplate::Write(pack_key(TAG_TOP_BID, i, 0)));
+            let seq = if (i as usize) < bid_seq.len() { &mut bid_seq[i as usize] } else {
+                bid_seq.push(0);
+                bid_seq.last_mut().expect("just pushed")
+            };
+            ops.push(OpTemplate::Write(pack_key(TAG_BID, i, *seq)));
+            *seq += 1;
+        } else if roll < 0.80 {
+            // Browse: read a handful of items.
+            for _ in 0..5 {
+                let i = rng.below(items);
+                ops.push(OpTemplate::Read(pack_key(TAG_ITEM, i, 0)));
+            }
+        } else if roll < 0.90 {
+            // Leave a comment about a user: fresh comment row.
+            let u = rng.below(users);
+            let seq = if (u as usize) < comment_seq.len() { &mut comment_seq[u as usize] } else {
+                comment_seq.push(0);
+                comment_seq.last_mut().expect("just pushed")
+            };
+            ops.push(OpTemplate::Read(pack_key(TAG_USER, u, 0)));
+            ops.push(OpTemplate::Write(pack_key(TAG_COMMENT, u, *seq)));
+            *seq += 1;
+        } else if roll < 0.95 {
+            // Register a new user.
+            let u = users;
+            users += 1;
+            comment_seq.push(0);
+            ops.push(OpTemplate::Write(pack_key(TAG_USER, u, 0)));
+        } else {
+            // List a new item with an empty top bid.
+            let i = items;
+            items += 1;
+            bid_seq.push(0);
+            ops.push(OpTemplate::Write(pack_key(TAG_ITEM, i, 0)));
+            ops.push(OpTemplate::Write(pack_key(TAG_TOP_BID, i, 0)));
+        }
+        out.push(TxnTemplate::new(ops));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let p = RubisParams::default();
+        assert_eq!(rubis_templates(200, &p), rubis_templates(200, &p));
+    }
+
+    #[test]
+    fn no_empty_transactions() {
+        let p = RubisParams::default();
+        assert!(rubis_templates(1000, &p).iter().all(|t| !t.ops.is_empty()));
+    }
+
+    #[test]
+    fn bids_create_contention_on_top_bid_keys() {
+        let p = RubisParams { users: 10, items: 5, seed: 1 };
+        let ts = rubis_templates(1000, &p);
+        let top_bid_writes = ts
+            .iter()
+            .flat_map(|t| &t.ops)
+            .filter(|o| matches!(o, OpTemplate::Write(k) if super::super::unpack_key(*k).0 == TAG_TOP_BID))
+            .count();
+        assert!(top_bid_writes > 100, "expect many top-bid writes, got {top_bid_writes}");
+    }
+
+    #[test]
+    fn key_space_is_moderate_compared_to_twitter() {
+        // RUBiS mostly reuses item/user keys; distinct keys grow slowly.
+        let p = RubisParams::default();
+        let mut s = aion_types::FxHashSet::default();
+        for t in rubis_templates(2000, &p) {
+            for op in &t.ops {
+                s.insert(op.key());
+            }
+        }
+        assert!(s.len() < 4000, "RUBiS key space too large: {}", s.len());
+    }
+}

@@ -1,0 +1,184 @@
+//! TPC-C-style order-entry workload (paper appendix, Fig. 24).
+//!
+//! TPC-C uses many tables with composite primary keys, producing "a very
+//! large range of primary key values" — the reason the paper evaluates it
+//! with the offline checker only. NewOrder inserts fresh order and
+//! order-line rows on every execution; Payment hammers the warehouse and
+//! district YTD rows, creating hot-key contention.
+
+use super::pack_key;
+use crate::templates::{OpTemplate, TxnTemplate};
+use aion_types::SplitMix64;
+
+const TAG_WAREHOUSE: u8 = 20;
+const TAG_DISTRICT: u8 = 21;
+const TAG_CUSTOMER: u8 = 22;
+const TAG_ITEM: u8 = 23;
+const TAG_STOCK: u8 = 24;
+const TAG_ORDER: u8 = 25;
+const TAG_ORDER_LINE: u8 = 26;
+const TAG_HISTORY: u8 = 27;
+
+/// TPC-C-lite parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TpccParams {
+    /// Number of warehouses.
+    pub warehouses: u64,
+    /// Districts per warehouse (TPC-C: 10).
+    pub districts: u64,
+    /// Customers per district.
+    pub customers: u64,
+    /// Item catalogue size.
+    pub items: u64,
+    /// Seed for deterministic generation.
+    pub seed: u64,
+}
+
+impl Default for TpccParams {
+    fn default() -> Self {
+        TpccParams { warehouses: 2, districts: 10, customers: 300, items: 1000, seed: 42 }
+    }
+}
+
+/// Generate `n_txns` TPC-C transactions.
+///
+/// Mix (standard-ish): 45 % NewOrder, 43 % Payment, 4 % OrderStatus,
+/// 4 % Delivery, 4 % StockLevel.
+pub fn tpcc_templates(n_txns: usize, params: &TpccParams) -> Vec<TxnTemplate> {
+    let p = *params;
+    let mut rng = SplitMix64::new(p.seed ^ 0x79cc);
+    // next order id per (warehouse, district)
+    let n_wd = (p.warehouses * p.districts) as usize;
+    let mut next_o_id: Vec<u64> = vec![0; n_wd];
+
+    let wd_index = |w: u64, d: u64| (w * p.districts + d) as usize;
+    // Pack (w, d) into one 28-bit field and the row id in the other.
+    let wd = |w: u64, d: u64| w * p.districts + d;
+    let wdo = |w: u64, d: u64, o: u64| (w * p.districts + d) * 1_000_000 + o;
+
+    let mut out = Vec::with_capacity(n_txns);
+    for _ in 0..n_txns {
+        let w = rng.below(p.warehouses);
+        let d = rng.below(p.districts);
+        let roll = rng.next_f64();
+        let mut ops = Vec::new();
+        if roll < 0.45 {
+            // NewOrder: allocate order id from the district row, touch
+            // item/stock per line, insert fresh order + order-line rows.
+            ops.push(OpTemplate::Read(pack_key(TAG_DISTRICT, wd(w, d), 0)));
+            ops.push(OpTemplate::Write(pack_key(TAG_DISTRICT, wd(w, d), 0)));
+            let o = next_o_id[wd_index(w, d)];
+            next_o_id[wd_index(w, d)] += 1;
+            let lines = 5 + rng.below(11); // 5..=15 per TPC-C
+            for ln in 0..lines {
+                let item = rng.below(p.items);
+                ops.push(OpTemplate::Read(pack_key(TAG_ITEM, item, 0)));
+                ops.push(OpTemplate::Read(pack_key(TAG_STOCK, w, item)));
+                ops.push(OpTemplate::Write(pack_key(TAG_STOCK, w, item)));
+                ops.push(OpTemplate::Write(pack_key(TAG_ORDER_LINE, wdo(w, d, o), ln)));
+            }
+            ops.push(OpTemplate::Write(pack_key(TAG_ORDER, wd(w, d), o)));
+        } else if roll < 0.88 {
+            // Payment: hot warehouse/district YTD rows + customer + fresh
+            // history row.
+            let c = rng.below(p.customers);
+            ops.push(OpTemplate::Write(pack_key(TAG_WAREHOUSE, w, 0)));
+            ops.push(OpTemplate::Write(pack_key(TAG_DISTRICT, wd(w, d), 1)));
+            ops.push(OpTemplate::Read(pack_key(TAG_CUSTOMER, wd(w, d), c)));
+            ops.push(OpTemplate::Write(pack_key(TAG_CUSTOMER, wd(w, d), c)));
+            let h = rng.next_u64() & ((1 << 28) - 1);
+            ops.push(OpTemplate::Write(pack_key(TAG_HISTORY, wd(w, d), h)));
+        } else if roll < 0.92 {
+            // OrderStatus: customer + their latest order, if any.
+            let c = rng.below(p.customers);
+            ops.push(OpTemplate::Read(pack_key(TAG_CUSTOMER, wd(w, d), c)));
+            let issued = next_o_id[wd_index(w, d)];
+            if issued > 0 {
+                ops.push(OpTemplate::Read(pack_key(TAG_ORDER, wd(w, d), issued - 1)));
+            }
+        } else if roll < 0.96 {
+            // Delivery: oldest undelivered orders across districts.
+            for dd in 0..3.min(p.districts) {
+                let issued = next_o_id[wd_index(w, dd)];
+                if issued > 0 {
+                    let o = rng.below(issued);
+                    ops.push(OpTemplate::Read(pack_key(TAG_ORDER, wd(w, dd), o)));
+                    ops.push(OpTemplate::Write(pack_key(TAG_ORDER, wd(w, dd), o)));
+                }
+            }
+            if ops.is_empty() {
+                ops.push(OpTemplate::Read(pack_key(TAG_WAREHOUSE, w, 0)));
+            }
+        } else {
+            // StockLevel: district + a scan of stock rows.
+            ops.push(OpTemplate::Read(pack_key(TAG_DISTRICT, wd(w, d), 0)));
+            for _ in 0..8 {
+                let item = rng.below(p.items);
+                ops.push(OpTemplate::Read(pack_key(TAG_STOCK, w, item)));
+            }
+        }
+        out.push(TxnTemplate::new(ops));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aion_types::FxHashSet;
+
+    #[test]
+    fn deterministic() {
+        let p = TpccParams::default();
+        assert_eq!(tpcc_templates(200, &p), tpcc_templates(200, &p));
+    }
+
+    #[test]
+    fn key_space_is_very_large() {
+        // The paper's stated reason for checking TPC-C offline only.
+        let p = TpccParams::default();
+        let mut keys = FxHashSet::default();
+        let ts = tpcc_templates(3000, &p);
+        for t in &ts {
+            for op in &t.ops {
+                keys.insert(op.key());
+            }
+        }
+        assert!(keys.len() > 5000, "TPC-C should touch many keys, got {}", keys.len());
+    }
+
+    #[test]
+    fn payment_creates_hot_warehouse_keys() {
+        let p = TpccParams::default();
+        let ts = tpcc_templates(2000, &p);
+        let wh_writes = ts
+            .iter()
+            .flat_map(|t| &t.ops)
+            .filter(|o| {
+                matches!(o, OpTemplate::Write(k) if super::super::unpack_key(*k).0 == TAG_WAREHOUSE)
+            })
+            .count();
+        assert!(wh_writes > 500, "expect hot warehouse writes, got {wh_writes}");
+    }
+
+    #[test]
+    fn no_empty_transactions() {
+        let p = TpccParams::default();
+        assert!(tpcc_templates(1000, &p).iter().all(|t| !t.ops.is_empty()));
+    }
+
+    #[test]
+    fn new_order_has_5_to_15_lines() {
+        let p = TpccParams::default();
+        for t in tpcc_templates(500, &p) {
+            let lines = t
+                .ops
+                .iter()
+                .filter(|o| {
+                    matches!(o, OpTemplate::Write(k) if super::super::unpack_key(*k).0 == TAG_ORDER_LINE)
+                })
+                .count();
+            assert!(lines <= 15, "too many order lines: {lines}");
+        }
+    }
+}

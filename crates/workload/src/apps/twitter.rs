@@ -1,0 +1,148 @@
+//! A Twitter clone (paper §V-A1): users create tweets, follow/unfollow
+//! accounts, and view timelines of recent tweets from accounts they follow.
+//!
+//! Every posted tweet allocates a fresh key, so the key space grows with
+//! the history — the property that makes Twitter the hardest workload for
+//! AION's versioned frontier (paper Fig. 12d).
+
+use super::pack_key;
+use crate::templates::{OpTemplate, TxnTemplate};
+use aion_types::SplitMix64;
+
+const TAG_TWEET: u8 = 1;
+const TAG_LATEST: u8 = 2;
+const TAG_FOLLOWS: u8 = 3;
+
+/// Twitter workload parameters (paper: 500 users).
+#[derive(Clone, Copy, Debug)]
+pub struct TwitterParams {
+    /// Number of users.
+    pub users: u64,
+    /// Maximum timeline fan-out (followees read per timeline view).
+    pub timeline_fanout: usize,
+    /// Seed for deterministic generation.
+    pub seed: u64,
+}
+
+impl Default for TwitterParams {
+    fn default() -> Self {
+        TwitterParams { users: 500, timeline_fanout: 8, seed: 42 }
+    }
+}
+
+/// Generate `n_txns` Twitter transactions.
+///
+/// Mix: 20 % post-tweet, 5 % follow, 5 % unfollow, 70 % view-timeline.
+pub fn twitter_templates(n_txns: usize, params: &TwitterParams) -> Vec<TxnTemplate> {
+    let users = params.users.max(2);
+    let mut rng = SplitMix64::new(params.seed ^ 0x7717);
+    let mut tweets_posted: Vec<u64> = vec![0; users as usize];
+    // Bootstrap follow graph: each user follows ~10 others.
+    let mut follows: Vec<Vec<u64>> = (0..users)
+        .map(|u| {
+            (0..10)
+                .map(|_| rng.below(users))
+                .filter(|&v| v != u)
+                .collect()
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(n_txns);
+    for _ in 0..n_txns {
+        let u = rng.below(users);
+        let roll = rng.next_f64();
+        let mut ops = Vec::new();
+        if roll < 0.20 {
+            // Post a tweet: fresh tweet key + latest pointer.
+            let seq = tweets_posted[u as usize];
+            tweets_posted[u as usize] += 1;
+            ops.push(OpTemplate::Write(pack_key(TAG_TWEET, u, seq)));
+            ops.push(OpTemplate::Write(pack_key(TAG_LATEST, u, 0)));
+        } else if roll < 0.25 {
+            // Follow someone new.
+            let v = rng.below(users);
+            if v != u {
+                follows[u as usize].push(v);
+            }
+            ops.push(OpTemplate::Write(pack_key(TAG_FOLLOWS, u, v)));
+        } else if roll < 0.30 {
+            // Unfollow (rewrite the edge key).
+            let fs = &mut follows[u as usize];
+            if fs.is_empty() {
+                ops.push(OpTemplate::Read(pack_key(TAG_LATEST, u, 0)));
+            } else {
+                let i = rng.below(fs.len() as u64) as usize;
+                let v = fs.swap_remove(i);
+                ops.push(OpTemplate::Write(pack_key(TAG_FOLLOWS, u, v)));
+            }
+        } else {
+            // View timeline: read latest pointers and recent tweets of a
+            // sample of followees.
+            let fs = &follows[u as usize];
+            let fanout = params.timeline_fanout.min(fs.len().max(1));
+            for _ in 0..fanout {
+                let v = if fs.is_empty() { rng.below(users) } else {
+                    fs[rng.below(fs.len() as u64) as usize]
+                };
+                ops.push(OpTemplate::Read(pack_key(TAG_LATEST, v, 0)));
+                let posted = tweets_posted[v as usize];
+                if posted > 0 {
+                    ops.push(OpTemplate::Read(pack_key(TAG_TWEET, v, posted - 1)));
+                }
+            }
+        }
+        out.push(TxnTemplate::new(ops));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aion_types::FxHashSet;
+
+    #[test]
+    fn deterministic() {
+        let p = TwitterParams::default();
+        assert_eq!(twitter_templates(100, &p), twitter_templates(100, &p));
+    }
+
+    #[test]
+    fn key_space_grows_with_history() {
+        let p = TwitterParams { users: 50, ..TwitterParams::default() };
+        let keys = |n: usize| -> usize {
+            let mut s = FxHashSet::default();
+            for t in twitter_templates(n, &p) {
+                for op in &t.ops {
+                    s.insert(op.key());
+                }
+            }
+            s.len()
+        };
+        let small = keys(200);
+        let big = keys(2000);
+        assert!(big > small + 100, "key space should grow: {small} -> {big}");
+    }
+
+    #[test]
+    fn read_heavy_mix() {
+        let p = TwitterParams::default();
+        let ts = twitter_templates(2000, &p);
+        let (mut reads, mut writes) = (0usize, 0usize);
+        for t in &ts {
+            for op in &t.ops {
+                match op {
+                    OpTemplate::Read(_) => reads += 1,
+                    OpTemplate::Write(_) => writes += 1,
+                }
+            }
+        }
+        assert!(reads > writes * 2, "timeline-heavy mix: {reads} reads vs {writes} writes");
+    }
+
+    #[test]
+    fn no_empty_transactions() {
+        let p = TwitterParams::default();
+        assert!(twitter_templates(500, &p).iter().all(|t| !t.ops.is_empty()));
+    }
+}

@@ -1,0 +1,154 @@
+//! Workload specification — the paper's Table I.
+
+use crate::dist::KeyDist;
+use aion_types::DataKind;
+
+/// Parameters of the default (parameterized) workload, Table I of the
+/// paper. The `Default` impl is the paper's "Default" column.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// Number of sessions (`#sess`), default 50.
+    pub sessions: usize,
+    /// Number of transactions (`#txns`), default 100 000.
+    pub txns: usize,
+    /// Operations per transaction (`#ops/txn`), default 15.
+    pub ops_per_txn: usize,
+    /// Ratio of read operations (`%reads`), default 0.5.
+    pub read_ratio: f64,
+    /// Number of keys (`#keys`), default 1000.
+    pub keys: u64,
+    /// Key access distribution (`dist`), default Zipfian.
+    pub dist: KeyDist,
+    /// Data type of the generated history.
+    pub kind: DataKind,
+    /// Seed for deterministic generation.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            sessions: 50,
+            txns: 100_000,
+            ops_per_txn: 15,
+            read_ratio: 0.5,
+            keys: 1000,
+            dist: KeyDist::Zipfian,
+            kind: DataKind::Kv,
+            seed: 42,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Builder: set the number of transactions.
+    pub fn with_txns(mut self, txns: usize) -> Self {
+        self.txns = txns;
+        self
+    }
+
+    /// Builder: set the number of sessions.
+    pub fn with_sessions(mut self, sessions: usize) -> Self {
+        self.sessions = sessions;
+        self
+    }
+
+    /// Builder: set operations per transaction.
+    pub fn with_ops_per_txn(mut self, ops: usize) -> Self {
+        self.ops_per_txn = ops;
+        self
+    }
+
+    /// Builder: set the read ratio.
+    pub fn with_read_ratio(mut self, r: f64) -> Self {
+        self.read_ratio = r;
+        self
+    }
+
+    /// Builder: set the number of keys.
+    pub fn with_keys(mut self, keys: u64) -> Self {
+        self.keys = keys;
+        self
+    }
+
+    /// Builder: set the key distribution.
+    pub fn with_dist(mut self, dist: KeyDist) -> Self {
+        self.dist = dist;
+        self
+    }
+
+    /// Builder: set the data kind (KV or list).
+    pub fn with_kind(mut self, kind: DataKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Builder: set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Expected total operation count.
+    pub fn total_ops(&self) -> usize {
+        self.txns * self.ops_per_txn
+    }
+}
+
+/// The parameter grid of Table I, for sweep experiments.
+pub mod table1 {
+    use super::KeyDist;
+
+    /// `#sess` column.
+    pub const SESSIONS: &[usize] = &[10, 20, 50, 100, 200];
+    /// `#txns` column (5K, 100K, 200K, 500K, 1000K).
+    pub const TXNS: &[usize] = &[5_000, 100_000, 200_000, 500_000, 1_000_000];
+    /// `#ops/txn` column.
+    pub const OPS_PER_TXN: &[usize] = &[5, 15, 30, 50, 100];
+    /// `%reads` column.
+    pub const READ_RATIOS: &[f64] = &[0.1, 0.3, 0.5, 0.7, 0.9];
+    /// `#keys` column.
+    pub const KEYS: &[u64] = &[200, 500, 1000, 2000, 5000];
+    /// `dist` column.
+    pub const DISTS: &[KeyDist] = &[KeyDist::Uniform, KeyDist::Zipfian, KeyDist::Hotspot];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1_default_column() {
+        let s = WorkloadSpec::default();
+        assert_eq!(s.sessions, 50);
+        assert_eq!(s.txns, 100_000);
+        assert_eq!(s.ops_per_txn, 15);
+        assert!((s.read_ratio - 0.5).abs() < 1e-9);
+        assert_eq!(s.keys, 1000);
+        assert_eq!(s.dist, KeyDist::Zipfian);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let s = WorkloadSpec::default()
+            .with_txns(10)
+            .with_sessions(2)
+            .with_ops_per_txn(4)
+            .with_read_ratio(0.9)
+            .with_keys(16)
+            .with_dist(KeyDist::Uniform)
+            .with_kind(DataKind::List)
+            .with_seed(7);
+        assert_eq!(s.txns, 10);
+        assert_eq!(s.total_ops(), 40);
+        assert_eq!(s.kind, DataKind::List);
+        assert_eq!(s.seed, 7);
+    }
+
+    #[test]
+    fn table1_grids_nonempty() {
+        assert_eq!(table1::SESSIONS.len(), 5);
+        assert_eq!(table1::TXNS.len(), 5);
+        assert_eq!(table1::DISTS.len(), 3);
+    }
+}

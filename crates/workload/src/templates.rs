@@ -1,0 +1,119 @@
+//! Transaction templates: the *plan* of a workload before execution.
+//!
+//! Generators produce key-level plans; the [`crate::runner`] executes them
+//! against a store, assigning globally unique write values (≥ 1) so that
+//! value-based baselines (Elle, Cobra) can infer dependencies.
+
+use crate::dist::KeySampler;
+use crate::spec::WorkloadSpec;
+use aion_types::{Key, SplitMix64};
+
+/// One planned operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpTemplate {
+    /// Read the key, recording whatever is observed.
+    Read(Key),
+    /// Write the key (a `Put` for KV histories, an `Append` for lists).
+    Write(Key),
+}
+
+impl OpTemplate {
+    /// The key this operation touches.
+    pub fn key(&self) -> Key {
+        match self {
+            OpTemplate::Read(k) | OpTemplate::Write(k) => *k,
+        }
+    }
+}
+
+/// One planned transaction.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TxnTemplate {
+    /// Planned operations in program order.
+    pub ops: Vec<OpTemplate>,
+}
+
+impl TxnTemplate {
+    /// A template from explicit ops.
+    pub fn new(ops: Vec<OpTemplate>) -> TxnTemplate {
+        TxnTemplate { ops }
+    }
+
+    /// True when the template performs no writes.
+    pub fn is_read_only(&self) -> bool {
+        self.ops.iter().all(|o| matches!(o, OpTemplate::Read(_)))
+    }
+}
+
+/// Generate the paper's default workload (Table I): `spec.txns`
+/// transactions of `spec.ops_per_txn` operations, each a read with
+/// probability `spec.read_ratio`, over keys drawn from `spec.dist`.
+///
+/// Works for both data kinds: the runner interprets `Write` as `Put` for
+/// KV histories and as `Append` for list histories.
+pub fn generate_templates(spec: &WorkloadSpec) -> Vec<TxnTemplate> {
+    let sampler = KeySampler::new(spec.dist, spec.keys);
+    let mut rng = SplitMix64::new(spec.seed);
+    let mut out = Vec::with_capacity(spec.txns);
+    for _ in 0..spec.txns {
+        let mut ops = Vec::with_capacity(spec.ops_per_txn);
+        for _ in 0..spec.ops_per_txn {
+            let key = Key(sampler.sample(&mut rng));
+            if rng.chance(spec.read_ratio) {
+                ops.push(OpTemplate::Read(key));
+            } else {
+                ops.push(OpTemplate::Write(key));
+            }
+        }
+        out.push(TxnTemplate::new(ops));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::KeyDist;
+
+    #[test]
+    fn generates_requested_shape() {
+        let spec = WorkloadSpec::default().with_txns(100).with_ops_per_txn(7).with_keys(10);
+        let ts = generate_templates(&spec);
+        assert_eq!(ts.len(), 100);
+        assert!(ts.iter().all(|t| t.ops.len() == 7));
+        assert!(ts.iter().flat_map(|t| &t.ops).all(|o| o.key().0 < 10));
+    }
+
+    #[test]
+    fn read_ratio_respected_approximately() {
+        let spec = WorkloadSpec::default()
+            .with_txns(1000)
+            .with_ops_per_txn(10)
+            .with_read_ratio(0.9)
+            .with_dist(KeyDist::Uniform);
+        let ts = generate_templates(&spec);
+        let reads = ts
+            .iter()
+            .flat_map(|t| &t.ops)
+            .filter(|o| matches!(o, OpTemplate::Read(_)))
+            .count();
+        let frac = reads as f64 / 10_000.0;
+        assert!((0.88..0.92).contains(&frac), "read fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = WorkloadSpec::default().with_txns(50);
+        assert_eq!(generate_templates(&spec), generate_templates(&spec));
+        let other = spec.with_seed(1);
+        assert_ne!(generate_templates(&spec), generate_templates(&other));
+    }
+
+    #[test]
+    fn read_only_detection() {
+        let t = TxnTemplate::new(vec![OpTemplate::Read(Key(1))]);
+        assert!(t.is_read_only());
+        let t = TxnTemplate::new(vec![OpTemplate::Read(Key(1)), OpTemplate::Write(Key(2))]);
+        assert!(!t.is_read_only());
+    }
+}

@@ -1,0 +1,75 @@
+//! The §V-D study as a runnable demo: inject each fault class into the
+//! database substrate and compare what the timestamp-based checker
+//! (CHRONOS) and a black-box checker (Elle) can see.
+//!
+//! ```text
+//! cargo run --release --example fault_injection
+//! ```
+
+use aion::baselines::{check_elle_kv, Level};
+use aion::prelude::*;
+
+fn check(name: &str, history: &History) {
+    let chronos = check_si_report(history);
+    let elle = check_elle_kv(history, Level::Si);
+    println!(
+        "{name:<14} CHRONOS: {:<45} Elle: {}",
+        chronos.summary(),
+        if elle.accepted { "ACCEPT".to_string() } else { format!("REJECT ({} anomalies)", elle.anomalies.len()) }
+    );
+    if !chronos.is_ok() {
+        let by_kind = [
+            AxiomKind::Session,
+            AxiomKind::Int,
+            AxiomKind::Ext,
+            AxiomKind::NoConflict,
+            AxiomKind::Integrity,
+        ]
+        .iter()
+        .map(|k| format!("{k}:{}", chronos.count(*k)))
+        .collect::<Vec<_>>()
+        .join(" ");
+        println!("{:14}   breakdown: {by_kind}", "");
+    }
+}
+
+fn main() {
+    let spec = WorkloadSpec::default().with_txns(10_000).with_sessions(16).with_keys(256);
+
+    println!("--- engine faults (the database misbehaves) ---");
+    check("baseline", &generate_history(&spec, IsolationLevel::Si));
+    check(
+        "lost-update",
+        &generate_faulty_history(
+            &spec,
+            FaultPlan { lost_update_rate: 0.01, seed: 7, ..FaultPlan::default() },
+        ),
+    );
+    check(
+        "stale-read",
+        &generate_faulty_history(
+            &spec,
+            FaultPlan { stale_read_rate: 0.01, seed: 7, ..FaultPlan::default() },
+        ),
+    );
+    check(
+        "int-anomaly",
+        &generate_faulty_history(
+            &spec,
+            FaultPlan { int_anomaly_rate: 0.01, seed: 7, ..FaultPlan::default() },
+        ),
+    );
+
+    println!("--- collection faults (the history lies) ---");
+    let mut skewed = generate_history(&spec, IsolationLevel::Si);
+    let n = inject_clock_skew(&mut skewed, 0.02, 60, 9);
+    println!("(skewed {n} recorded start timestamps)");
+    check("clock-skew", &skewed);
+
+    println!();
+    println!(
+        "Note how the stale-read and clock-skew classes — timestamp-level \
+         anomalies — slip past the black-box checker but are caught by \
+         CHRONOS, the paper's §V-D observation."
+    );
+}
