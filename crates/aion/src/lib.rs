@@ -1,0 +1,111 @@
+//! # aion — the facade crate
+//!
+//! One import surface over the whole isolation-checking workspace, a
+//! Rust reproduction of *"Online Timestamp-based Transactional Isolation
+//! Checking of Database Systems"* (ICDE 2025). Applications depend on
+//! this crate alone; the implementation crates stay independently
+//! usable.
+//!
+//! ## Crate map
+//!
+//! | module | backing crate | contents |
+//! |--------|---------------|----------|
+//! | [`types`] | `aion-types` | timestamps, transactions, histories, violations, the [`Checker`](prelude::Checker) session API |
+//! | [`offline`] | `aion-core` | CHRONOS: offline SI/SER checkers (paper Algorithms 1–2, §VI-A) |
+//! | [`online`] | `aion-online` | AION / AION-SER: online checkers over out-of-order streams (Algorithm 3) |
+//! | [`storage`] | `aion-storage` | MVCC-SI and strict-2PL engines, timestamp oracles, fault injection |
+//! | [`workload`] | `aion-workload` | the paper's Table I workload, list workloads, Twitter/RUBiS/TPC-C-lite |
+//! | [`baselines`] | `aion-baselines` | Elle, Emme, PolySI, Viper, Cobra reconstructions |
+//!
+//! ## The streaming session API
+//!
+//! Every checker — online AION, offline CHRONOS, and the baseline
+//! adapters — implements one trait, [`prelude::Checker`]:
+//!
+//! * `feed(txn, now_ms)` ingests one transaction and returns the typed
+//!   [`prelude::CheckEvent`]s it produced (definitive violations,
+//!   tentative-verdict flip-flops, EXT finalizations, GC spill passes);
+//! * `tick(now_ms)` advances the virtual clock, firing EXT timeouts;
+//! * `finish()` closes the session into the uniform
+//!   [`prelude::Outcome`].
+//!
+//! Offline checkers buffer in `feed` and do all work in `finish`; the
+//! online checker emits verdicts *while* the history streams in, which
+//! is the paper's core claim. Drivers like
+//! [`online::run_plan`](prelude::run_plan) are generic over the trait,
+//! so one arrival plan can be replayed through any checker and the
+//! event timelines compared.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use aion::prelude::*;
+//!
+//! // Generate a small SI history from the paper's workload generator...
+//! let spec = WorkloadSpec::default().with_txns(200).with_sessions(8).with_keys(32);
+//! let history = generate_history(&spec, IsolationLevel::Si);
+//!
+//! // ...check it offline with CHRONOS...
+//! let outcome = check_si(&history, &ChronosOptions::default());
+//! assert!(outcome.is_ok());
+//!
+//! // ...and online with AION, streaming events as arrivals come in.
+//! let mut checker = OnlineChecker::builder().mode(Mode::Si).ext_timeout_ms(5_000).build();
+//! for (i, txn) in history.txns.iter().enumerate() {
+//!     for event in checker.feed(txn.clone(), i as u64) {
+//!         println!("[{i}] {event}");
+//!     }
+//! }
+//! assert!(checker.finish().is_ok());
+//! ```
+//!
+//! See `examples/` for end-to-end tours: `quickstart`,
+//! `online_monitoring` (streaming verdicts + GC), `write_skew`,
+//! `fault_injection`, `list_histories`, and `twitter_audit`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use aion_baselines as baselines;
+pub use aion_core as offline;
+pub use aion_online as online;
+pub use aion_storage as storage;
+pub use aion_types as types;
+pub use aion_workload as workload;
+
+pub mod prelude {
+    //! The common vocabulary: `use aion::prelude::*` and start checking.
+    //!
+    //! Brings in the domain types, the [`Checker`] session API, both
+    //! CHRONOS entry points, the AION online checker with its builder,
+    //! the storage engines and the workload generators. Baseline
+    //! checkers stay behind [`crate::baselines`] to keep the namespace
+    //! tidy.
+
+    pub use aion_types::{
+        apply, expected_read, AxiomKind, CheckEvent, CheckReport, Checker, CheckerStats, DataKind,
+        EventKey, FlipSummary, History, HistoryStats, Key, Mode, Outcome, SessionId, Snapshot,
+        Timestamp, Transaction, TxnBuilder, TxnId, Value, Violation,
+    };
+
+    pub use aion_core::{
+        check_ser, check_ser_consuming, check_ser_report, check_si, check_si_consuming,
+        check_si_report, ChronosChecker, ChronosOptions, ChronosOutcome, GcPolicy, StageTimings,
+    };
+
+    pub use aion_online::{
+        feed_plan, run_plan, AionConfig, AionOutcome, AionStats, Arrival, FeedConfig,
+        OnlineChecker, OnlineCheckerBuilder, OnlineGcPolicy, OnlineRunReport, TimedEvent,
+    };
+
+    pub use aion_storage::{
+        inject_clock_skew, inject_session_break, CentralOracle, CommitError, FaultPlan, MvccStore,
+        MvccTxn, Oracle, Recorder, SkewedHlcOracle, Store, StoreStats, StoreTxn, TwoPlStore,
+        TwoPlTxn,
+    };
+
+    pub use aion_workload::{
+        generate_faulty_history, generate_history, generate_templates, run_interleaved, table1,
+        IsolationLevel, KeyDist, OpTemplate, RunReport, TxnTemplate, WorkloadSpec,
+    };
+}

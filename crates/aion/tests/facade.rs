@@ -1,0 +1,183 @@
+//! Facade integration tests: the same generated history driven through
+//! the online checker, the offline CHRONOS adapter and the baseline
+//! adapters *via the polymorphic `Checker` trait*, asserting verdict
+//! agreement — the interchangeability the API redesign exists to
+//! provide.
+
+use aion::baselines::{ElleChecker, EmmeChecker};
+use aion::prelude::*;
+
+/// Replay a history through any checker session, one arrival per
+/// virtual millisecond, collecting the emitted events.
+fn drive<C: Checker>(mut checker: C, txns: &[Transaction]) -> (Outcome, Vec<CheckEvent>) {
+    let mut events = Vec::new();
+    for (i, txn) in txns.iter().enumerate() {
+        events.extend(checker.tick(i as u64));
+        events.extend(checker.feed(txn.clone(), i as u64));
+    }
+    (checker.finish(), events)
+}
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec::default().with_txns(300).with_sessions(8).with_ops_per_txn(6).with_keys(24)
+}
+
+/// Corrupt one read so every checker family can see it: point an
+/// *external* read (no prior write to the key in its transaction — the
+/// black-box baselines only infer over those) at a value nobody ever
+/// wrote. An EXT violation for the timestamp-based checkers, a "read
+/// of unwritten value" anomaly for the baselines.
+fn corrupt(h: &mut History) {
+    for t in h.txns.iter_mut() {
+        let mut written = std::collections::HashSet::new();
+        for op in t.ops.iter_mut() {
+            match op {
+                aion::types::Op::Read { key, value } if !written.contains(key) => {
+                    *value = Snapshot::Scalar(Value(u64::MAX - 3));
+                    return;
+                }
+                aion::types::Op::Write { key, .. } => {
+                    written.insert(*key);
+                }
+                _ => {}
+            }
+        }
+    }
+    panic!("generated history has no external reads to corrupt");
+}
+
+type CheckerRun = Box<dyn FnOnce(&[Transaction]) -> (Outcome, Vec<CheckEvent>)>;
+
+fn checkers(kind: DataKind) -> Vec<CheckerRun> {
+    vec![
+        Box::new(move |txns| drive(OnlineChecker::builder().kind(kind).build(), txns)),
+        Box::new(move |txns| drive(ChronosChecker::si(kind), txns)),
+        Box::new(move |txns| drive(ElleChecker::si(kind), txns)),
+        Box::new(move |txns| drive(EmmeChecker::si(kind), txns)),
+    ]
+}
+
+#[test]
+fn all_checkers_accept_a_valid_history() {
+    let h = generate_history(&spec(), IsolationLevel::Si);
+    for run in checkers(h.kind) {
+        let (outcome, _) = run(&h.txns);
+        assert!(
+            outcome.is_ok(),
+            "{} must accept an engine-generated SI history: {} {:?}",
+            outcome.checker,
+            outcome.report,
+            outcome.notes
+        );
+        assert_eq!(outcome.txns, h.len(), "{} txn count", outcome.checker);
+    }
+}
+
+#[test]
+fn all_checkers_reject_a_corrupted_history() {
+    let mut h = generate_history(&spec(), IsolationLevel::Si);
+    corrupt(&mut h);
+    for run in checkers(h.kind) {
+        let (outcome, _) = run(&h.txns);
+        assert!(
+            !outcome.is_ok(),
+            "{} must reject the corrupted read: {} {:?}",
+            outcome.checker,
+            outcome.report,
+            outcome.notes
+        );
+    }
+}
+
+#[test]
+fn online_events_stream_before_finish() {
+    // Delay one writer to the end of the stream: its reader flips to
+    // tentatively-wrong and back, all strictly before finish().
+    let h = generate_history(&spec(), IsolationLevel::Si);
+    let mut txns = h.txns.clone();
+    // Move the first writing transaction to the back (its own session
+    // order is preserved trivially if it is a session's last txn; use a
+    // fresh-session shuffle instead: rotate while keeping per-session
+    // order by sorting stability).
+    let first_writer = txns
+        .iter()
+        .position(|t| t.ops.iter().any(|o| matches!(o, aion::types::Op::Write { .. })))
+        .expect("history has writers");
+    let w = txns.remove(first_writer);
+    let sid = w.sid;
+    // Keep session order: everything from the writer's session after it
+    // moves too, in order.
+    let mut tail: Vec<Transaction> = vec![w];
+    let mut rest: Vec<Transaction> = Vec::new();
+    for t in txns {
+        if t.sid == sid {
+            tail.push(t);
+        } else {
+            rest.push(t);
+        }
+    }
+    rest.extend(tail);
+
+    let (outcome, events) = drive(OnlineChecker::builder().kind(h.kind).build(), &rest);
+    assert!(outcome.is_ok(), "delayed writer must be rectified: {}", outcome.report);
+    // The checker surfaced *incremental* events mid-stream even though
+    // the final report is clean.
+    assert!(
+        events.iter().any(|e| matches!(e, CheckEvent::VerdictFlip { .. })),
+        "expected tentative verdict flips, got {} events",
+        events.len()
+    );
+}
+
+#[test]
+fn offline_adapters_emit_no_events() {
+    let h = generate_history(&spec(), IsolationLevel::Si);
+    let (_, chronos_events) = drive(ChronosChecker::si(h.kind), &h.txns);
+    let (_, elle_events) = drive(ElleChecker::si(h.kind), &h.txns);
+    assert!(chronos_events.is_empty() && elle_events.is_empty());
+}
+
+#[test]
+fn ser_checkers_agree_on_write_skew() {
+    // The textbook SI-vs-SER separator, end to end through the facade.
+    let mut h = History::new(DataKind::Kv);
+    h.push(
+        TxnBuilder::new(1)
+            .session(0, 0)
+            .interval(10, 40)
+            .read(Key(2), Value::INIT)
+            .put(Key(1), Value(100))
+            .build(),
+    );
+    h.push(
+        TxnBuilder::new(2)
+            .session(1, 0)
+            .interval(20, 50)
+            .read(Key(1), Value::INIT)
+            .put(Key(2), Value(200))
+            .build(),
+    );
+
+    let (si_online, _) = drive(OnlineChecker::builder().build(), &h.txns);
+    let (si_offline, _) = drive(ChronosChecker::si(DataKind::Kv), &h.txns);
+    assert!(si_online.is_ok() && si_offline.is_ok(), "write skew is legal under SI");
+
+    let (ser_online, _) = drive(OnlineChecker::builder().mode(Mode::Ser).build(), &h.txns);
+    let (ser_offline, _) = drive(ChronosChecker::ser(DataKind::Kv), &h.txns);
+    let (ser_emme, _) = drive(EmmeChecker::ser(DataKind::Kv), &h.txns);
+    assert!(!ser_online.is_ok(), "AION-SER must reject write skew");
+    assert!(!ser_offline.is_ok(), "CHRONOS-SER must reject write skew");
+    assert!(!ser_emme.is_ok(), "Emme-SER must reject write skew");
+}
+
+#[test]
+fn run_plan_is_checker_polymorphic() {
+    // The arrival-plan driver accepts any Checker implementation.
+    let h = generate_history(&spec(), IsolationLevel::Si);
+    let plan = feed_plan(&h, &FeedConfig::default());
+    let online = run_plan(OnlineChecker::builder().kind(h.kind).build(), &plan);
+    let offline = run_plan(ChronosChecker::si(h.kind), &plan);
+    assert!(online.outcome.is_ok() && offline.outcome.is_ok());
+    assert_eq!(online.outcome.report.len(), offline.outcome.report.len());
+    assert!(offline.timeline.is_empty(), "offline adapters have no event timeline");
+}

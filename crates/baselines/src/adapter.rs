@@ -1,0 +1,160 @@
+//! Baseline checkers behind the streaming [`Checker`] trait.
+//!
+//! [`ElleChecker`] and [`EmmeChecker`] adapt the offline black-box /
+//! white-box baselines to the workspace-wide session API so drivers can
+//! replay one arrival plan through AION, CHRONOS and the baselines and
+//! compare verdicts. Like the CHRONOS adapter, `feed` only buffers and
+//! `finish` does all the work; the baselines report anomalies as
+//! human-readable notes plus an accept/reject verdict (they do not
+//! produce [`aion_types::Violation`]s).
+
+use crate::elle::{check_elle, Level};
+use crate::emme::{check_emme_ser, check_emme_si};
+use crate::verdict::BaselineOutcome;
+use aion_types::check::{CheckEvent, Checker, Mode, Outcome};
+use aion_types::{CheckReport, DataKind, History, Transaction};
+
+fn level_of(mode: Mode) -> Level {
+    match mode {
+        Mode::Si => Level::Si,
+        Mode::Ser => Level::Ser,
+    }
+}
+
+fn baseline_outcome(name: &'static str, txns: usize, out: BaselineOutcome) -> Outcome {
+    let mut notes = out.anomalies;
+    if out.timed_out {
+        notes.push(format!("DNF: search budget exhausted after {} steps", out.search_steps));
+    }
+    Outcome::new(name, CheckReport::new(), txns)
+        .with_accepted(out.accepted && !out.timed_out)
+        .with_notes(notes)
+}
+
+/// The baseline adapters share one shape — buffer the stream, run the
+/// batch checker at `finish` — differing only in names and the batch
+/// entry point; this macro stamps out each adapter from those two.
+macro_rules! buffered_baseline {
+    (
+        $(#[$doc:meta])*
+        $name:ident, si = $si_name:literal, ser = $ser_name:literal,
+        finish = $finish:expr
+    ) => {
+        $(#[$doc])*
+        pub struct $name {
+            mode: Mode,
+            history: History,
+        }
+
+        impl $name {
+            /// A session checking `mode` over `kind`-typed data.
+            pub fn new(mode: Mode, kind: DataKind) -> $name {
+                $name { mode, history: History::new(kind) }
+            }
+
+            /// A snapshot-isolation session.
+            pub fn si(kind: DataKind) -> $name {
+                $name::new(Mode::Si, kind)
+            }
+
+            /// A serializability session.
+            pub fn ser(kind: DataKind) -> $name {
+                $name::new(Mode::Ser, kind)
+            }
+        }
+
+        impl Checker for $name {
+            fn name(&self) -> &'static str {
+                match self.mode {
+                    Mode::Si => $si_name,
+                    Mode::Ser => $ser_name,
+                }
+            }
+
+            fn feed(&mut self, txn: Transaction, _now_ms: u64) -> Vec<CheckEvent> {
+                self.history.push(txn);
+                Vec::new()
+            }
+
+            fn tick(&mut self, _now_ms: u64) -> Vec<CheckEvent> {
+                Vec::new()
+            }
+
+            fn finish(self) -> Outcome {
+                let name = Checker::name(&self);
+                let txns = self.history.len();
+                let run: fn(Mode, &History) -> BaselineOutcome = $finish;
+                baseline_outcome(name, txns, run(self.mode, &self.history))
+            }
+        }
+    };
+}
+
+buffered_baseline! {
+    /// An Elle (black-box dependency inference) session: buffers the
+    /// stream, infers and checks at [`finish`](Checker::finish). Elle
+    /// picks its register/list inference from the history kind.
+    ElleChecker, si = "elle-si", ser = "elle-ser",
+    finish = |mode, history| check_elle(history, level_of(mode))
+}
+
+buffered_baseline! {
+    /// An Emme (white-box, timestamp-derived version order) session:
+    /// buffers the stream, builds the full DSG and checks at
+    /// [`finish`](Checker::finish).
+    EmmeChecker, si = "emme-si", ser = "emme-ser",
+    finish = |mode, history| match mode {
+        Mode::Si => check_emme_si(history),
+        Mode::Ser => check_emme_ser(history),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aion_types::{Key, TxnBuilder, Value};
+
+    fn write_skew_history() -> Vec<Transaction> {
+        vec![
+            TxnBuilder::new(1)
+                .session(0, 0)
+                .interval(10, 40)
+                .read(Key(2), Value::INIT)
+                .put(Key(1), Value(100))
+                .build(),
+            TxnBuilder::new(2)
+                .session(1, 0)
+                .interval(20, 50)
+                .read(Key(1), Value::INIT)
+                .put(Key(2), Value(200))
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn elle_and_emme_classify_write_skew() {
+        // Write skew: legal under SI, an anomaly under SER — both
+        // adapters must agree with their batch entry points.
+        for (si_ok, mode) in [(true, Mode::Si), (false, Mode::Ser)] {
+            let mut elle = ElleChecker::new(mode, DataKind::Kv);
+            let mut emme = EmmeChecker::new(mode, DataKind::Kv);
+            for t in write_skew_history() {
+                elle.feed(t.clone(), 0);
+                emme.feed(t, 0);
+            }
+            let (e1, e2) = (elle.finish(), emme.finish());
+            assert_eq!(e1.is_ok(), si_ok, "elle {mode:?}: {:?}", e1.notes);
+            assert_eq!(e2.is_ok(), si_ok, "emme {mode:?}: {:?}", e2.notes);
+            assert_eq!(e1.txns, 2);
+            assert_eq!(e1.accepted, Some(si_ok));
+        }
+    }
+
+    #[test]
+    fn adapter_names_follow_mode() {
+        assert_eq!(Checker::name(&ElleChecker::si(DataKind::Kv)), "elle-si");
+        assert_eq!(Checker::name(&ElleChecker::ser(DataKind::Kv)), "elle-ser");
+        assert_eq!(Checker::name(&EmmeChecker::si(DataKind::Kv)), "emme-si");
+        assert_eq!(Checker::name(&EmmeChecker::ser(DataKind::Kv)), "emme-ser");
+    }
+}

@@ -120,12 +120,8 @@ pub fn run_cobra_online(history: &History, cfg: &CobraConfig) -> CobraReport {
         // Fence-based GC: drop everything before the second-to-last fence
         // in the window (its order relative to survivors is pinned).
         if cfg.fence_key.is_some() {
-            let fences: Vec<usize> = active
-                .iter()
-                .enumerate()
-                .filter(|&(_, &i)| is_fence(i))
-                .map(|(p, _)| p)
-                .collect();
+            let fences: Vec<usize> =
+                active.iter().enumerate().filter(|&(_, &i)| is_fence(i)).map(|(p, _)| p).collect();
             if fences.len() >= 2 {
                 let cut = fences[fences.len() - 2];
                 active.drain(..cut);
@@ -156,7 +152,8 @@ mod tests {
         let mut last = Value(0);
         let mut fence_last = Value(0);
         for i in 0..n {
-            let mut b = TxnBuilder::new(i + 1).session(0, i as u32).interval(i * 10 + 1, i * 10 + 5);
+            let mut b =
+                TxnBuilder::new(i + 1).session(0, i as u32).interval(i * 10 + 1, i * 10 + 5);
             if fence_every > 0 && i % fence_every == 0 {
                 b = b.read(fence_key, fence_last).put(fence_key, Value(1_000_000 + i));
                 fence_last = Value(1_000_000 + i);
@@ -172,7 +169,10 @@ mod tests {
     #[test]
     fn verifies_serial_history() {
         let h = serial_history(200, 0, Key(99));
-        let r = run_cobra_online(&h, &CobraConfig { round_size: 50, fence_key: None, ..CobraConfig::default() });
+        let r = run_cobra_online(
+            &h,
+            &CobraConfig { round_size: 50, fence_key: None, ..CobraConfig::default() },
+        );
         assert!(r.accepted, "{:?}", r.violation);
         assert_eq!(r.processed, 200);
         assert_eq!(r.rounds, 4);
@@ -181,11 +181,8 @@ mod tests {
     #[test]
     fn fences_bound_the_active_window() {
         let h = serial_history(400, 10, Key(99));
-        let cfg = CobraConfig {
-            round_size: 50,
-            fence_key: Some(Key(99)),
-            ..CobraConfig::default()
-        };
+        let cfg =
+            CobraConfig { round_size: 50, fence_key: Some(Key(99)), ..CobraConfig::default() };
         let r = run_cobra_online(&h, &cfg);
         assert!(r.accepted, "{:?}", r.violation);
         assert_eq!(r.processed, 400);
@@ -220,7 +217,10 @@ mod tests {
                     .build(),
             );
         }
-        let r = run_cobra_online(&h, &CobraConfig { round_size: 10, fence_key: None, ..CobraConfig::default() });
+        let r = run_cobra_online(
+            &h,
+            &CobraConfig { round_size: 10, fence_key: None, ..CobraConfig::default() },
+        );
         assert!(!r.accepted);
         assert!(r.violation.is_some());
         assert!(r.processed <= 10, "stops in the first round");

@@ -200,10 +200,28 @@ mod tests {
         // T0 appends to k1 having observed k2 empty; T1 appends to k2
         // having observed k1 empty; observers pin both appends → rw cycle
         // under SER.
-        h.push(TxnBuilder::new(0).session(0, 0).interval(1, 4).read_list(k2, vec![]).append(k1, Value(1)).build());
-        h.push(TxnBuilder::new(1).session(1, 0).interval(2, 5).read_list(k1, vec![]).append(k2, Value(2)).build());
-        h.push(TxnBuilder::new(2).session(2, 0).interval(6, 7).read_list(k1, vec![Value(1)]).build());
-        h.push(TxnBuilder::new(3).session(3, 0).interval(8, 9).read_list(k2, vec![Value(2)]).build());
+        h.push(
+            TxnBuilder::new(0)
+                .session(0, 0)
+                .interval(1, 4)
+                .read_list(k2, vec![])
+                .append(k1, Value(1))
+                .build(),
+        );
+        h.push(
+            TxnBuilder::new(1)
+                .session(1, 0)
+                .interval(2, 5)
+                .read_list(k1, vec![])
+                .append(k2, Value(2))
+                .build(),
+        );
+        h.push(
+            TxnBuilder::new(2).session(2, 0).interval(6, 7).read_list(k1, vec![Value(1)]).build(),
+        );
+        h.push(
+            TxnBuilder::new(3).session(3, 0).interval(8, 9).read_list(k2, vec![Value(2)]).build(),
+        );
         let ser = check_elle_list(&h, Level::Ser);
         assert!(!ser.accepted, "{:?}", ser.anomalies);
         let si = check_elle_list(&h, Level::Si);
@@ -217,8 +235,16 @@ mod tests {
         h.push(TxnBuilder::new(0).session(0, 0).interval(1, 2).append(k, Value(1)).build());
         h.push(TxnBuilder::new(1).session(1, 0).interval(3, 4).append(k, Value(2)).build());
         // Two incompatible observations: [1] extended by 2 vs [2] alone.
-        h.push(TxnBuilder::new(2).session(2, 0).interval(5, 6).read_list(k, vec![Value(1), Value(2)]).build());
-        h.push(TxnBuilder::new(3).session(3, 0).interval(7, 8).read_list(k, vec![Value(2)]).build());
+        h.push(
+            TxnBuilder::new(2)
+                .session(2, 0)
+                .interval(5, 6)
+                .read_list(k, vec![Value(1), Value(2)])
+                .build(),
+        );
+        h.push(
+            TxnBuilder::new(3).session(3, 0).interval(7, 8).read_list(k, vec![Value(2)]).build(),
+        );
         let out = check_elle_list(&h, Level::Si);
         assert!(!out.accepted);
         assert!(out.anomalies.iter().any(|a| a.contains("incompatible")));

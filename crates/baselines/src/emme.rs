@@ -152,8 +152,18 @@ mod tests {
         let x = Key(1);
         let y = Key(2);
         let h = kv(vec![
-            TxnBuilder::new(0).session(0, 0).interval(1, 4).read(x, Value(0)).put(y, Value(1)).build(),
-            TxnBuilder::new(1).session(1, 0).interval(2, 5).read(y, Value(0)).put(x, Value(2)).build(),
+            TxnBuilder::new(0)
+                .session(0, 0)
+                .interval(1, 4)
+                .read(x, Value(0))
+                .put(y, Value(1))
+                .build(),
+            TxnBuilder::new(1)
+                .session(1, 0)
+                .interval(2, 5)
+                .read(y, Value(0))
+                .put(x, Value(2))
+                .build(),
         ]);
         let si = check_emme_si(&h);
         assert!(si.is_ok(), "write skew is SI-legal: {:?}", si.anomalies);
@@ -224,7 +234,11 @@ mod tests {
 
     #[test]
     fn unknown_version_read_is_anomaly() {
-        let h = kv(vec![TxnBuilder::new(0).session(0, 0).interval(1, 2).read(Key(1), Value(9)).build()]);
+        let h = kv(vec![TxnBuilder::new(0)
+            .session(0, 0)
+            .interval(1, 2)
+            .read(Key(1), Value(9))
+            .build()]);
         assert!(!check_emme_si(&h).accepted);
         assert!(!check_emme_ser(&h).accepted);
     }

@@ -69,15 +69,11 @@ fn collect_usage(history: &History, anomalies: &mut Vec<String>) -> FxHashMap<Ke
                         init_readers: Vec::new(),
                     });
                     match value {
-                        Snapshot::Scalar(v) if *v == Value::INIT => {
-                            u.init_readers.push(r as u32)
-                        }
+                        Snapshot::Scalar(v) if *v == Value::INIT => u.init_readers.push(r as u32),
                         Snapshot::Scalar(v) => match writer_of.get(&(*key, *v)) {
                             Some(&w) => u.readers_of.entry(w).or_default().push(r as u32),
-                            None => anomalies.push(format!(
-                                "t{} read unwritten value {v:?} of {key}",
-                                t.tid.0
-                            )),
+                            None => anomalies
+                                .push(format!("t{} read unwritten value {v:?} of {key}", t.tid.0)),
                         },
                         Snapshot::List(_) => anomalies.push(format!(
                             "polygraph encodings support key-value histories only ({key})"
@@ -161,8 +157,7 @@ pub fn encode_si_bc(history: &History) -> Encoding {
 /// suppresses anomalies for reads whose writer lies outside the window
 /// (already garbage-collected — Cobra's fences guarantee their order).
 pub fn encode_ser_polygraph(history: &History, active: &[u32], allow_unknown: bool) -> Encoding {
-    let pos: FxHashMap<u32, u32> =
-        active.iter().enumerate().map(|(p, &i)| (i, p as u32)).collect();
+    let pos: FxHashMap<u32, u32> = active.iter().enumerate().map(|(p, &i)| (i, p as u32)).collect();
     let mut anomalies = Vec::new();
     let mut problem = ChoiceProblem::new(active.len());
 
@@ -208,10 +203,8 @@ pub fn encode_ser_polygraph(history: &History, active: &[u32], allow_unknown: bo
                                 }
                             }
                             None if allow_unknown => {}
-                            None => anomalies.push(format!(
-                                "t{} read unwritten value {v:?} of {key}",
-                                t.tid.0
-                            )),
+                            None => anomalies
+                                .push(format!("t{} read unwritten value {v:?} of {key}", t.tid.0)),
                         },
                         Snapshot::List(_) => anomalies
                             .push("polygraph encodings support key-value histories only".into()),

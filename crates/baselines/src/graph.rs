@@ -285,7 +285,8 @@ impl IncrementalDag {
                 }
             }
             // Reassign the affected order slots: backward set first.
-            let mut slots: Vec<u32> = fwd.iter().chain(bwd.iter()).map(|&x| self.ord[x as usize]).collect();
+            let mut slots: Vec<u32> =
+                fwd.iter().chain(bwd.iter()).map(|&x| self.ord[x as usize]).collect();
             slots.sort_unstable();
             bwd.sort_by_key(|&x| self.ord[x as usize]);
             fwd.sort_by_key(|&x| self.ord[x as usize]);

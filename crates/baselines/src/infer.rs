@@ -124,8 +124,7 @@ pub fn infer_white_box(history: &History) -> Dependencies {
         for (key, observed) in external_reads(t) {
             let Some(vs) = versions.get(&key) else {
                 if observed != Snapshot::initial(history.kind) {
-                    deps.anomalies
-                        .push(format!("t{} read unwritten {key}: {observed:?}", t.tid.0));
+                    deps.anomalies.push(format!("t{} read unwritten {key}: {observed:?}", t.tid.0));
                 }
                 continue;
             };
@@ -189,7 +188,9 @@ pub fn infer_black_box_kv(history: &History) -> Dependencies {
         let writes: Vec<Key> = t.write_keys();
         for (key, observed) in external_reads(t) {
             let Snapshot::Scalar(v) = observed else { continue };
-            let writer = if v == Value::INIT { None } else {
+            let writer = if v == Value::INIT {
+                None
+            } else {
                 match writer_of.get(&(key, v)) {
                     Some(&w) => Some(w),
                     None => {
@@ -399,7 +400,11 @@ mod tests {
 
     #[test]
     fn white_box_flags_unknown_versions() {
-        let h = kv(vec![TxnBuilder::new(1).session(0, 0).interval(1, 2).read(Key(1), Value(9)).build()]);
+        let h = kv(vec![TxnBuilder::new(1)
+            .session(0, 0)
+            .interval(1, 2)
+            .read(Key(1), Value(9))
+            .build()]);
         let d = infer_white_box(&h);
         assert_eq!(d.anomalies.len(), 1);
     }
@@ -446,7 +451,11 @@ mod tests {
 
     #[test]
     fn black_box_kv_flags_aborted_read() {
-        let h = kv(vec![TxnBuilder::new(1).session(0, 0).interval(1, 2).read(Key(1), Value(7)).build()]);
+        let h = kv(vec![TxnBuilder::new(1)
+            .session(0, 0)
+            .interval(1, 2)
+            .read(Key(1), Value(7))
+            .build()]);
         let d = infer_black_box_kv(&h);
         assert!(d.anomalies.iter().any(|a| a.contains("unwritten")));
     }
@@ -464,7 +473,9 @@ mod tests {
                 .read_list(k, vec![Value(10), Value(20)])
                 .build(),
         );
-        h.push(TxnBuilder::new(4).session(3, 0).interval(7, 8).read_list(k, vec![Value(10)]).build());
+        h.push(
+            TxnBuilder::new(4).session(3, 0).interval(7, 8).read_list(k, vec![Value(10)]).build(),
+        );
         let d = infer_black_box_list(&h);
         assert!(d.anomalies.is_empty(), "{:?}", d.anomalies);
         assert_eq!(d.ww, vec![(0, 1)]);
@@ -479,8 +490,16 @@ mod tests {
         let mut h = History::new(DataKind::List);
         h.push(TxnBuilder::new(1).session(0, 0).interval(1, 2).append(k, Value(10)).build());
         h.push(TxnBuilder::new(2).session(1, 0).interval(3, 4).append(k, Value(20)).build());
-        h.push(TxnBuilder::new(3).session(2, 0).interval(5, 6).read_list(k, vec![Value(10), Value(20)]).build());
-        h.push(TxnBuilder::new(4).session(3, 0).interval(7, 8).read_list(k, vec![Value(20)]).build());
+        h.push(
+            TxnBuilder::new(3)
+                .session(2, 0)
+                .interval(5, 6)
+                .read_list(k, vec![Value(10), Value(20)])
+                .build(),
+        );
+        h.push(
+            TxnBuilder::new(4).session(3, 0).interval(7, 8).read_list(k, vec![Value(20)]).build(),
+        );
         let d = infer_black_box_list(&h);
         assert!(d.anomalies.iter().any(|a| a.contains("incompatible")), "{:?}", d.anomalies);
     }

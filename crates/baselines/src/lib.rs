@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adapter;
 pub mod cobra;
 pub mod elle;
 pub mod emme;
@@ -31,6 +32,7 @@ pub mod solver;
 pub mod verdict;
 pub mod viper;
 
+pub use adapter::{ElleChecker, EmmeChecker};
 pub use cobra::{run_cobra_online, CobraConfig, CobraReport};
 pub use elle::{check_elle, check_elle_kv, check_elle_list, Level};
 pub use emme::{check_emme_ser, check_emme_si};

@@ -110,9 +110,8 @@ impl ChoiceProblem {
                     return (SolveOutcome::Cyclic("committed edges are cyclic".into()), stats);
                 }
                 let closure = g.transitive_closure();
-                let impossible = |edges: &[(u32, u32)]| {
-                    edges.iter().any(|&(u, v)| closure.get(v, u))
-                };
+                let impossible =
+                    |edges: &[(u32, u32)]| edges.iter().any(|&(u, v)| closure.get(v, u));
                 let mut progressed = false;
                 let mut next_open = Vec::with_capacity(open.len());
                 for ch in open {

@@ -2,7 +2,7 @@
 //! ~12K TPS sustained-throughput claim (§VI-B), plus the versioned-map
 //! substrate.
 
-use aion_online::{feed_plan, AionConfig, FeedConfig, Mode, OnlineChecker, VersionedMap};
+use aion_online::{feed_plan, FeedConfig, Mode, OnlineChecker, VersionedMap};
 use aion_types::{EventKey, Key, Timestamp, TxnId, Value};
 use aion_workload::{generate_history, IsolationLevel, WorkloadSpec};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -20,11 +20,9 @@ fn bench_receive_throughput(c: &mut Criterion) {
     for (label, mode) in [("si", Mode::Si), ("ser", Mode::Ser)] {
         group.bench_with_input(BenchmarkId::new("out_of_order", label), &mode, |b, &mode| {
             b.iter(|| {
-                let mut ck = OnlineChecker::new(AionConfig {
-                    kind: h.kind,
-                    mode,
-                    ..AionConfig::default()
-                });
+                // Events off: measure raw checking throughput, as the
+                // paper does, without event materialization.
+                let mut ck = OnlineChecker::builder().kind(h.kind).mode(mode).events(false).build();
                 for (at, txn) in &plan {
                     ck.tick(*at);
                     ck.receive(txn.clone(), *at);
@@ -44,11 +42,7 @@ fn bench_versioned_map(c: &mut Criterion) {
         b.iter(|| {
             let mut m: VersionedMap<Value> = VersionedMap::new();
             for i in 0..n {
-                m.insert(
-                    Key(i % 512),
-                    EventKey::commit(Timestamp(i + 1), TxnId(i)),
-                    Value(i),
-                );
+                m.insert(Key(i % 512), EventKey::commit(Timestamp(i + 1), TxnId(i)), Value(i));
             }
             m.len()
         })
@@ -61,8 +55,7 @@ fn bench_versioned_map(c: &mut Criterion) {
         let mut q = 0u64;
         b.iter(|| {
             q = (q.wrapping_add(0x9e37_79b9)) % n;
-            m.get_before(Key(q % 512), EventKey::start(Timestamp(q + 1), TxnId(q)))
-                .map(|(_, v)| *v)
+            m.get_before(Key(q % 512), EventKey::start(Timestamp(q + 1), TxnId(q))).map(|(_, v)| *v)
         })
     });
     group.finish();

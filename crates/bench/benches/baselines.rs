@@ -13,9 +13,8 @@ fn bench_graph_checkers(c: &mut Criterion) {
     let h = generate_history(&WorkloadSpec::default().with_txns(n), IsolationLevel::Si);
     group.throughput(Throughput::Elements(n as u64));
     group.bench_function("chronos_si", |b| b.iter(|| check_si_report(&h).len()));
-    group.bench_function("elle_kv_si", |b| {
-        b.iter(|| bl::check_elle_kv(&h, bl::Level::Si).accepted)
-    });
+    group
+        .bench_function("elle_kv_si", |b| b.iter(|| bl::check_elle_kv(&h, bl::Level::Si).accepted));
     group.bench_function("emme_si", |b| b.iter(|| bl::check_emme_si(&h).accepted));
     group.bench_function("emme_ser", |b| b.iter(|| bl::check_emme_ser(&h).accepted));
     group.finish();
@@ -27,12 +26,9 @@ fn bench_solver_checkers(c: &mut Criterion) {
     let n = 400usize;
     let h = generate_history(&WorkloadSpec::default().with_txns(n), IsolationLevel::Si);
     group.throughput(Throughput::Elements(n as u64));
-    group.bench_function("polysi_400", |b| {
-        b.iter(|| bl::check_polysi_budget(&h, 500_000).accepted)
-    });
-    group.bench_function("viper_400", |b| {
-        b.iter(|| bl::check_viper_budget(&h, 500_000).accepted)
-    });
+    group
+        .bench_function("polysi_400", |b| b.iter(|| bl::check_polysi_budget(&h, 500_000).accepted));
+    group.bench_function("viper_400", |b| b.iter(|| bl::check_viper_budget(&h, 500_000).accepted));
     group.finish();
 }
 

@@ -63,5 +63,11 @@ fn bench_gc_strategies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_check_si, bench_check_si_list, bench_check_ser, bench_gc_strategies);
+criterion_group!(
+    benches,
+    bench_check_si,
+    bench_check_si_list,
+    bench_check_ser,
+    bench_gc_strategies
+);
 criterion_main!(benches);

@@ -75,9 +75,10 @@ pub fn app_history(app: App, txns: usize, level: IsolationLevel, seed: u64) -> H
     let key = format!("app-{}-{txns}-{level:?}-{seed}", app.label());
     cached(&key, || {
         let templates: Vec<TxnTemplate> = match app {
-            App::Twitter => {
-                twitter::twitter_templates(txns, &twitter::TwitterParams { seed, ..Default::default() })
-            }
+            App::Twitter => twitter::twitter_templates(
+                txns,
+                &twitter::TwitterParams { seed, ..Default::default() },
+            ),
             App::Rubis => {
                 rubis::rubis_templates(txns, &rubis::RubisParams { seed, ..Default::default() })
             }

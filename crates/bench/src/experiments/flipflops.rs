@@ -7,7 +7,7 @@
 use super::Ctx;
 use crate::datasets::default_history;
 use crate::tables::Table;
-use aion_online::{feed_plan, run_plan, AionConfig, FeedConfig, FlipSummary, Mode, OnlineChecker};
+use aion_online::{feed_plan, run_plan, FeedConfig, FlipSummary, Mode, OnlineChecker};
 use aion_types::History;
 use aion_workload::{IsolationLevel, WorkloadSpec};
 
@@ -26,12 +26,8 @@ fn run_flips(h: &History, mean: f64, std: f64) -> FlipSummary {
         seed: 42,
     };
     let plan = feed_plan(h, &cfg);
-    let checker = OnlineChecker::new(AionConfig {
-        kind: h.kind,
-        mode: Mode::Si,
-        track_flip_details: true,
-        ..AionConfig::default()
-    });
+    let checker =
+        OnlineChecker::builder().kind(h.kind).mode(Mode::Si).track_flip_details(true).build();
     run_plan(checker, &plan).outcome.flips
 }
 

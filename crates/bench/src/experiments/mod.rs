@@ -35,9 +35,9 @@ impl Ctx {
 
 /// All experiment ids, in run order for `all`.
 pub const ALL: &[&str] = &[
-    "table1", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "sec5d", "fig12a", "fig12b", "fig12cd", "fig13", "fig14", "fig15", "fig16", "fig17_18",
-    "fig19", "fig20_21", "fig22", "fig23", "fig24", "fig25",
+    "table1", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "sec5d",
+    "fig12a", "fig12b", "fig12cd", "fig13", "fig14", "fig15", "fig16", "fig17_18", "fig19",
+    "fig20_21", "fig22", "fig23", "fig24", "fig25",
 ];
 
 /// Dispatch one experiment by id. Returns false for unknown ids.

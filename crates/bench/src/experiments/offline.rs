@@ -18,9 +18,10 @@ fn chronos_time(h: &History, gc: GcPolicy) -> (Duration, usize) {
 
 /// Table I: the default workload parameter grid.
 pub fn table1(ctx: &Ctx) {
-    let mut t = Table::new("Table I: parameters of the default workload", &[
-        "parameter", "values", "default",
-    ]);
+    let mut t = Table::new(
+        "Table I: parameters of the default workload",
+        &["parameter", "values", "default"],
+    );
     t.row(vec!["#sess".into(), format!("{:?}", grid::SESSIONS), "50".into()]);
     t.row(vec!["#txns".into(), format!("{:?}", grid::TXNS), "100000".into()]);
     t.row(vec!["#ops/txn".into(), format!("{:?}", grid::OPS_PER_TXN), "15".into()]);
@@ -41,7 +42,11 @@ pub fn fig4(ctx: &Ctx) {
         &["#txns", "PolySI", "Viper", "ElleKV", "Emme-SI", "Chronos"],
     );
     for &n in &[500usize, 1000, 1500, 2000, 2500, 3000] {
-        let n = if ctx.scale > 20 { super::Ctx { scale: ctx.scale / 20, ..ctx.clone() }.n(n) } else { n };
+        let n = if ctx.scale > 20 {
+            super::Ctx { scale: ctx.scale / 20, ..ctx.clone() }.n(n)
+        } else {
+            n
+        };
         let spec = WorkloadSpec::default().with_txns(n);
         let h = default_history(&spec, IsolationLevel::Si);
         let polysi = bl::check_polysi_budget(&h, 200_000);
@@ -50,7 +55,11 @@ pub fn fig4(ctx: &Ctx) {
         let (emme, _) = time_it(|| bl::check_emme_si(&h));
         let (chronos, _) = chronos_time(&h, GcPolicy::Fast);
         let dnf = |o: &bl::BaselineOutcome| {
-            if o.timed_out { format!("DNF({})", secs(o.elapsed)) } else { secs(o.elapsed) }
+            if o.timed_out {
+                format!("DNF({})", secs(o.elapsed))
+            } else {
+                secs(o.elapsed)
+            }
         };
         t.row(vec![
             n.to_string(),
@@ -84,10 +93,8 @@ pub fn fig5a(ctx: &Ctx) {
 
 /// Fig. 5b: CHRONOS vs ElleList on list histories.
 pub fn fig5b(ctx: &Ctx) {
-    let mut t = Table::new(
-        "Fig. 5b: runtime (s) on list histories",
-        &["#txns", "ElleList", "Chronos"],
-    );
+    let mut t =
+        Table::new("Fig. 5b: runtime (s) on list histories", &["#txns", "ElleList", "Chronos"]);
     for &paper_n in &[2_000usize, 4_000, 6_000, 8_000, 10_000] {
         let n = ctx.n(paper_n);
         let spec = WorkloadSpec::default().with_txns(n).with_kind(DataKind::List);
@@ -109,7 +116,8 @@ pub fn fig6(ctx: &Ctx) {
         })
         .chain([(GcPolicy::Never.label(), GcPolicy::Never)])
         .collect();
-    let headers: Vec<&str> = std::iter::once("x").chain(gcs.iter().map(|(l, _)| l.as_str())).collect();
+    let headers: Vec<&str> =
+        std::iter::once("x").chain(gcs.iter().map(|(l, _)| l.as_str())).collect();
 
     let mut ta = Table::new("Fig. 6a: runtime (s) vs #txns", &headers);
     for &paper_n in grid::TXNS {
@@ -375,14 +383,11 @@ pub fn sec5d(ctx: &Ctx) {
     );
     let cases: Vec<(&str, History)> = vec![
         ("none", default_history(&base, IsolationLevel::Si)),
-        (
-            "clock-skew",
-            {
-                let mut h = default_history(&base, IsolationLevel::Si);
-                inject_clock_skew(&mut h, 0.01, 40, 7);
-                h
-            },
-        ),
+        ("clock-skew", {
+            let mut h = default_history(&base, IsolationLevel::Si);
+            inject_clock_skew(&mut h, 0.01, 40, 7);
+            h
+        }),
         (
             "lost-update",
             generate_faulty_history(

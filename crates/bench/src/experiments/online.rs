@@ -5,9 +5,7 @@ use crate::datasets::{app_history, cobra_history, default_history, throughput_sp
 use crate::tables::{mib, Table};
 use aion_baselines::{run_cobra_online, CobraConfig};
 use aion_core::check_ser_report;
-use aion_online::{
-    feed_plan, run_plan, AionConfig, FeedConfig, Mode, OnlineChecker, OnlineGcPolicy,
-};
+use aion_online::{feed_plan, run_plan, FeedConfig, Mode, OnlineChecker, OnlineGcPolicy};
 use aion_types::{AxiomKind, DataKind, History};
 use aion_workload::IsolationLevel;
 
@@ -37,19 +35,9 @@ fn throughput_feed(h: &History) -> Vec<aion_online::Arrival> {
 
 fn run_aion(h: &History, mode: Mode, gc: OnlineGcPolicy) -> (f64, Vec<u32>, usize, usize) {
     let plan = throughput_feed(h);
-    let checker = OnlineChecker::new(AionConfig {
-        kind: h.kind,
-        mode,
-        gc,
-        ..AionConfig::default()
-    });
+    let checker = OnlineChecker::builder().kind(h.kind).mode(mode).gc(gc).build();
     let r = run_plan(checker, &plan);
-    (
-        r.mean_tps(),
-        r.throughput.clone(),
-        r.outcome.report.len(),
-        r.outcome.stats.spilled_txns,
-    )
+    (r.mean_tps(), r.throughput.clone(), r.outcome.report.len(), r.outcome.stats.spilled_txns)
 }
 
 fn emit_throughput(
@@ -58,7 +46,8 @@ fn emit_throughput(
     title: &str,
     runs: Vec<(String, f64, Vec<u32>, usize, usize)>,
 ) {
-    let mut t = Table::new(title, &["config", "mean TPS", "violations", "spilled", "series(TPS/s)"]);
+    let mut t =
+        Table::new(title, &["config", "mean TPS", "violations", "spilled", "series(TPS/s)"]);
     for (name, tps, series, viol, spilled) in &runs {
         let shown: Vec<String> = series.iter().take(12).map(|c| c.to_string()).collect();
         t.row(vec![
@@ -82,9 +71,12 @@ pub fn fig12a(ctx: &Ctx) {
         let (tps, series, viol, spilled) = run_aion(&h, Mode::Ser, gc);
         runs.push((format!("Aion-SER-{name}"), tps, series, viol, spilled));
     }
-    for (fence_every, round, label) in
-        [(20usize, 2400usize, "F20-R2k4"), (20, 4800, "F20-R4k8"), (2, 2400, "F1-R2k4"), (2, 4800, "F1-R4k8")]
-    {
+    for (fence_every, round, label) in [
+        (20usize, 2400usize, "F20-R2k4"),
+        (20, 4800, "F20-R4k8"),
+        (2, 2400, "F1-R2k4"),
+        (2, 4800, "F1-R4k8"),
+    ] {
         let (ch, fence_key) = cobra_history(n, fence_every);
         let cfg = CobraConfig {
             round_size: round,
@@ -127,7 +119,12 @@ pub fn fig12cd(ctx: &Ctx) {
             runs.push((format!("{}-Aion-SER-{name}", app.label()), tps, series, viol, spilled));
         }
     }
-    emit_throughput(ctx, "fig12cd", &format!("Fig. 12c,d: SER throughput on apps ({n} txns)"), runs);
+    emit_throughput(
+        ctx,
+        "fig12cd",
+        &format!("Fig. 12c,d: SER throughput on apps ({n} txns)"),
+        runs,
+    );
 }
 
 /// Fig. 23: online SI checking on RUBiS and Twitter.
@@ -187,12 +184,11 @@ pub fn fig16(ctx: &Ctx) {
     let h = default_history(&throughput_spec(n, false), IsolationLevel::Si);
     let plan = throughput_feed(&h);
     let cap = (n / 10).max(500);
-    let mut checker = OnlineChecker::new(AionConfig {
-        kind: h.kind,
-        mode: Mode::Si,
-        gc: OnlineGcPolicy::Full { max_txns: cap },
-        ..AionConfig::default()
-    });
+    let mut checker = OnlineChecker::builder()
+        .kind(h.kind)
+        .mode(Mode::Si)
+        .gc(OnlineGcPolicy::Full { max_txns: cap })
+        .build();
     let mut t = Table::new(
         format!("Fig. 16: AION memory over (virtual) time, cap {cap} resident txns"),
         &["t(ms)", "est MiB", "resident txns", "spilled"],
@@ -253,7 +249,12 @@ pub fn fig25(ctx: &Ctx) {
     let _ = r; // fence history is SER-valid; run the violating one unfenced:
     let rv = run_cobra_online(
         &h,
-        &CobraConfig { round_size: 2400, fence_every: 0, fence_key: None, budget_per_round: 100_000 },
+        &CobraConfig {
+            round_size: 2400,
+            fence_every: 0,
+            fence_key: None,
+            budget_per_round: 100_000,
+        },
     );
     t.row(vec![
         "Cobra".into(),

@@ -29,7 +29,12 @@ use aion_types::{
 use std::time::Instant;
 
 /// Configuration for an offline checking run.
+///
+/// `#[non_exhaustive]`: construct via [`ChronosOptions::default`] or
+/// [`ChronosOptions::with_gc`] so future knobs stay non-breaking; the
+/// fields remain `pub` for reading and in-place mutation.
 #[derive(Clone, Copy, Debug, Default)]
+#[non_exhaustive]
 pub struct ChronosOptions {
     /// Garbage-collection policy (see [`GcPolicy`]).
     pub gc: GcPolicy,

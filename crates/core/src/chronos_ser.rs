@@ -75,14 +75,7 @@ pub fn check_ser_consuming(history: History, opts: &ChronosSerOptions) -> Chrono
         let idx = i as usize;
         {
             let t = slots[idx].as_ref().expect("transaction processed once");
-            check_one_ser(
-                t,
-                kind,
-                &mut frontier,
-                &mut next_sno,
-                &mut last_cts,
-                &mut report,
-            );
+            check_one_ser(t, kind, &mut frontier, &mut next_sno, &mut last_cts, &mut report);
         }
         done += 1;
         since_gc += 1;
@@ -147,10 +140,8 @@ pub(crate) fn check_one_ser(
         match op {
             Op::Read { key, value } => match int_val.get(key) {
                 None => {
-                    let expect = frontier
-                        .get(key)
-                        .cloned()
-                        .unwrap_or_else(|| Snapshot::initial(kind));
+                    let expect =
+                        frontier.get(key).cloned().unwrap_or_else(|| Snapshot::initial(kind));
                     if *value != expect {
                         report.push(Violation::Ext {
                             tid: t.tid,

@@ -89,8 +89,7 @@ mod tests {
         let mut r = CheckReport::new();
         let evs = build_events(&h, &mut r);
         assert!(r.is_ok());
-        let order: Vec<(u64, bool)> =
-            evs.iter().map(|e| (e.key.ts.get(), e.is_start())).collect();
+        let order: Vec<(u64, bool)> = evs.iter().map(|e| (e.key.ts.get(), e.is_start())).collect();
         assert_eq!(order, vec![(1, true), (2, true), (3, false), (4, false)]);
     }
 

@@ -31,8 +31,10 @@ pub mod chronos_ser;
 pub mod event;
 pub mod gc;
 pub mod report;
+pub mod session;
 
 pub use chronos::{check_si, check_si_consuming, check_si_report, ChronosOptions};
 pub use chronos_ser::{check_ser, check_ser_consuming, check_ser_report, ChronosSerOptions};
 pub use gc::GcPolicy;
 pub use report::{ChronosOutcome, StageTimings};
+pub use session::ChronosChecker;

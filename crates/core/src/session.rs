@@ -1,0 +1,126 @@
+//! Offline CHRONOS behind the streaming [`Checker`] trait.
+//!
+//! [`ChronosChecker`] adapts the batch checkers [`check_si`] and
+//! [`check_ser`] to the workspace-wide session API: `feed` buffers
+//! transactions (emitting no events — offline checkers have no
+//! incremental verdicts), `tick` is a no-op, and `finish` runs the whole
+//! check and converts the [`ChronosOutcome`] into the uniform
+//! [`aion_types::Outcome`]. This is what lets `run_plan`, the benches
+//! and the examples replay one arrival plan through AION and CHRONOS
+//! interchangeably and compare verdicts.
+//!
+//! [`check_si`]: crate::chronos::check_si
+//! [`check_ser`]: crate::chronos_ser::check_ser
+//! [`ChronosOutcome`]: crate::report::ChronosOutcome
+
+use crate::chronos::{check_si_consuming, ChronosOptions};
+use crate::chronos_ser::check_ser_consuming;
+use aion_types::check::{CheckEvent, Checker, Mode, Outcome};
+use aion_types::{DataKind, History, Transaction};
+
+/// An offline CHRONOS checking session: buffers the stream, checks at
+/// [`finish`](Checker::finish).
+///
+/// ```
+/// use aion_core::{ChronosChecker, ChronosOptions};
+/// use aion_types::{Checker, DataKind, Key, Mode, TxnBuilder, Value};
+///
+/// let mut session = ChronosChecker::new(Mode::Si, DataKind::Kv, ChronosOptions::default());
+/// session.feed(
+///     TxnBuilder::new(1).session(0, 0).interval(1, 2).put(Key(1), Value(7)).build(), 0);
+/// session.feed(
+///     TxnBuilder::new(2).session(1, 0).interval(3, 4).read(Key(1), Value(7)).build(), 1);
+/// let outcome = session.finish();
+/// assert!(outcome.is_ok());
+/// assert_eq!(outcome.checker, "chronos-si");
+/// ```
+pub struct ChronosChecker {
+    mode: Mode,
+    opts: ChronosOptions,
+    history: History,
+}
+
+impl ChronosChecker {
+    /// A session checking `mode` over `kind`-typed data.
+    pub fn new(mode: Mode, kind: DataKind, opts: ChronosOptions) -> ChronosChecker {
+        ChronosChecker { mode, opts, history: History::new(kind) }
+    }
+
+    /// A snapshot-isolation session with default options.
+    pub fn si(kind: DataKind) -> ChronosChecker {
+        ChronosChecker::new(Mode::Si, kind, ChronosOptions::default())
+    }
+
+    /// A serializability session with default options.
+    pub fn ser(kind: DataKind) -> ChronosChecker {
+        ChronosChecker::new(Mode::Ser, kind, ChronosOptions::default())
+    }
+
+    /// Transactions buffered so far.
+    pub fn buffered(&self) -> usize {
+        self.history.len()
+    }
+}
+
+impl Checker for ChronosChecker {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            Mode::Si => "chronos-si",
+            Mode::Ser => "chronos-ser",
+        }
+    }
+
+    fn feed(&mut self, txn: Transaction, _now_ms: u64) -> Vec<CheckEvent> {
+        self.history.push(txn);
+        Vec::new()
+    }
+
+    fn tick(&mut self, _now_ms: u64) -> Vec<CheckEvent> {
+        Vec::new()
+    }
+
+    fn finish(self) -> Outcome {
+        let name = self.name();
+        let out = match self.mode {
+            Mode::Si => check_si_consuming(self.history, &self.opts),
+            Mode::Ser => check_ser_consuming(self.history, &self.opts),
+        };
+        Outcome::new(name, out.report, out.txns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aion_types::{AxiomKind, Key, TxnBuilder, Value};
+
+    fn t(tid: u64, sid: u32, sno: u32, s: u64, c: u64) -> TxnBuilder {
+        TxnBuilder::new(tid).session(sid, sno).interval(s, c)
+    }
+
+    #[test]
+    fn adapter_matches_batch_checker() {
+        let mut ck = ChronosChecker::si(DataKind::Kv);
+        assert_eq!(ck.feed(t(1, 0, 0, 1, 2).put(Key(1), Value(5)).build(), 0), vec![]);
+        assert_eq!(ck.feed(t(2, 1, 0, 3, 4).read(Key(1), Value(9)).build(), 1), vec![]);
+        assert_eq!(ck.tick(10_000), vec![], "offline: the clock is meaningless");
+        assert_eq!(ck.buffered(), 2);
+        let out = ck.finish();
+        assert_eq!(out.checker, "chronos-si");
+        assert_eq!(out.txns, 2);
+        assert_eq!(out.report.count(AxiomKind::Ext), 1);
+        assert!(!out.is_ok());
+    }
+
+    #[test]
+    fn ser_adapter_checks_commit_visibility() {
+        let mut ck = ChronosChecker::ser(DataKind::Kv);
+        ck.feed(t(1, 0, 0, 1, 2).put(Key(1), Value(1)).build(), 0);
+        ck.feed(t(2, 1, 0, 3, 6).put(Key(1), Value(2)).build(), 0);
+        ck.feed(t(3, 2, 0, 4, 7).read(Key(1), Value(1)).build(), 0);
+        let out = ck.finish();
+        assert_eq!(out.checker, "chronos-ser");
+        assert_eq!(out.report.count(AxiomKind::Ext), 1, "{}", out.report);
+        assert_eq!(out.report.count(AxiomKind::NoConflict), 0, "SER skips NOCONFLICT");
+    }
+}

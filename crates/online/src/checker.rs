@@ -25,25 +25,18 @@
 
 use crate::index::{KeyEventIndex, OngoingIndex, ReadRef};
 use crate::spill::{SpillEntry, SpillStore};
-use crate::stats::{AionStats, FlipSummary, FlipTracker};
-use crate::versioned::VersionedMap;
+use crate::stats::{AionStats, FlipTracker};
 use aion_types::{
-    classify_mismatch, expected_read, CheckReport, DataKind, EventKey, FxHashMap, FxHashSet, Key,
-    MismatchAxiom, Mutation, Op, SessionId, Snapshot, Timestamp, Transaction, TxnId, Violation,
+    classify_mismatch, expected_read, CheckEvent, CheckReport, Checker, DataKind, EventKey,
+    FxHashMap, FxHashSet, Key, MismatchAxiom, Mutation, Op, Outcome, SessionId, Snapshot,
+    Timestamp, Transaction, TxnId, Violation,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::path::PathBuf;
 
-/// Which isolation level the checker enforces.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub enum Mode {
-    /// Snapshot isolation (AION).
-    #[default]
-    Si,
-    /// Serializability (AION-SER).
-    Ser,
-}
+use crate::versioned::VersionedMap;
+pub use aion_types::check::Mode;
 
 /// Online garbage-collection policy (paper Fig. 12's three strategies).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -66,7 +59,12 @@ pub enum OnlineGcPolicy {
 }
 
 /// Configuration for an online checking session.
+///
+/// `#[non_exhaustive]`: construct via [`AionConfig::builder`] (or
+/// [`OnlineChecker::builder`]) so future knobs stay non-breaking; fields
+/// remain `pub` for reading and in-place mutation.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct AionConfig {
     /// Data type of the incoming history.
     pub kind: DataKind,
@@ -86,6 +84,11 @@ pub struct AionConfig {
     pub naive_recheck: bool,
     /// Spill segments to this file instead of in-memory buffers.
     pub spill_path: Option<PathBuf>,
+    /// Materialize [`CheckEvent`]s from `receive`/`tick` (default: on).
+    /// Turn off for pure-throughput runs that discard the returned
+    /// events: verdicts and the report are unaffected, but the per-event
+    /// clones and allocations on the hot path are skipped.
+    pub events: bool,
 }
 
 impl Default for AionConfig {
@@ -98,7 +101,93 @@ impl Default for AionConfig {
             track_flip_details: false,
             naive_recheck: false,
             spill_path: None,
+            events: true,
         }
+    }
+}
+
+impl AionConfig {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> OnlineCheckerBuilder {
+        OnlineCheckerBuilder::default()
+    }
+}
+
+/// Builder for [`AionConfig`] / [`OnlineChecker`] sessions.
+///
+/// ```
+/// use aion_online::{Mode, OnlineChecker, OnlineGcPolicy};
+/// let checker = OnlineChecker::builder()
+///     .mode(Mode::Ser)
+///     .gc(OnlineGcPolicy::Checking { max_txns: 10_000 })
+///     .ext_timeout_ms(5_000)
+///     .build();
+/// assert_eq!(checker.config().mode, Mode::Ser);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct OnlineCheckerBuilder {
+    cfg: AionConfig,
+}
+
+impl OnlineCheckerBuilder {
+    /// Data type of the incoming history (default: key-value).
+    pub fn kind(mut self, kind: DataKind) -> Self {
+        self.cfg.kind = kind;
+        self
+    }
+
+    /// Isolation level to check (default: [`Mode::Si`]).
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// EXT finalization timeout in virtual milliseconds (default: the
+    /// paper's conservative 5 s).
+    pub fn ext_timeout_ms(mut self, ms: u64) -> Self {
+        self.cfg.ext_timeout_ms = ms;
+        self
+    }
+
+    /// Garbage-collection policy (default: never spill).
+    pub fn gc(mut self, gc: OnlineGcPolicy) -> Self {
+        self.cfg.gc = gc;
+        self
+    }
+
+    /// Collect per-pair flip-flop details (default: off).
+    pub fn track_flip_details(mut self, on: bool) -> Self {
+        self.cfg.track_flip_details = on;
+        self
+    }
+
+    /// Disable the step-③ re-check bound (ablation; default: off).
+    pub fn naive_recheck(mut self, on: bool) -> Self {
+        self.cfg.naive_recheck = on;
+        self
+    }
+
+    /// Spill segments to this file instead of in-memory buffers.
+    pub fn spill_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cfg.spill_path = Some(path.into());
+        self
+    }
+
+    /// Materialize [`CheckEvent`]s (default: on); see
+    /// [`AionConfig::events`].
+    pub fn events(mut self, on: bool) -> Self {
+        self.cfg.events = on;
+        self
+    }
+
+    /// Finish building the configuration.
+    pub fn config(self) -> AionConfig {
+        self.cfg
+    }
+
+    /// Finish building and open the checking session.
+    pub fn build(self) -> OnlineChecker {
+        OnlineChecker::new(self.cfg)
     }
 }
 
@@ -131,26 +220,17 @@ struct OnlineTxn {
     finalized: bool,
 }
 
-/// The outcome of an online checking session.
-#[derive(Clone, Debug, Default)]
-pub struct AionOutcome {
-    /// All violations found.
-    pub report: CheckReport,
-    /// Runtime counters.
-    pub stats: AionStats,
-    /// Flip-flop statistics (§VI-C).
-    pub flips: FlipSummary,
-}
-
-impl AionOutcome {
-    /// True when no violation was found.
-    pub fn is_ok(&self) -> bool {
-        self.report.is_ok()
-    }
-}
+/// The outcome of an online checking session — the workspace-uniform
+/// [`Outcome`], carrying the report plus [`AionStats`] and flip-flop
+/// statistics (§VI-C).
+pub type AionOutcome = Outcome;
 
 /// The online checker. Drive it with [`receive`](Self::receive) and
-/// [`tick`](Self::tick), then [`finish`](Self::finish).
+/// [`tick`](Self::tick), then [`finish`](Self::finish) — or through the
+/// polymorphic [`Checker`] trait, whose `feed`/`tick` delegate here.
+/// Every call returns the typed [`CheckEvent`]s it produced, so
+/// violations, verdict flips, finalizations and GC passes are visible
+/// *while* the history streams in.
 pub struct OnlineChecker {
     cfg: AionConfig,
     txns: FxHashMap<TxnId, OnlineTxn>,
@@ -172,6 +252,8 @@ pub struct OnlineChecker {
     report: CheckReport,
     flips: FlipTracker,
     stats: AionStats,
+    /// Events produced since the last `receive`/`tick` returned.
+    events: Vec<CheckEvent>,
 }
 
 impl OnlineChecker {
@@ -202,7 +284,46 @@ impl OnlineChecker {
             report: CheckReport::new(),
             flips,
             stats: AionStats::default(),
+            events: Vec::new(),
         }
+    }
+
+    /// Start building a checking session from the default configuration.
+    pub fn builder() -> OnlineCheckerBuilder {
+        OnlineCheckerBuilder::default()
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &AionConfig {
+        &self.cfg
+    }
+
+    /// Stable checker name, e.g. `"aion-si"`.
+    pub fn checker_name(&self) -> &'static str {
+        match self.cfg.mode {
+            Mode::Si => "aion-si",
+            Mode::Ser => "aion-ser",
+        }
+    }
+
+    /// Commit a violation to the report and the event stream.
+    fn emit(&mut self, v: Violation) {
+        if self.cfg.events {
+            self.events.push(CheckEvent::Violation(v.clone()));
+        }
+        self.report.push(v);
+    }
+
+    /// Stream a non-violation event (skipped when events are off).
+    fn emit_event(&mut self, e: impl FnOnce() -> CheckEvent) {
+        if self.cfg.events {
+            self.events.push(e());
+        }
+    }
+
+    /// Hand the caller everything emitted since the last call.
+    fn take_events(&mut self) -> Vec<CheckEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// An SI checker with default settings.
@@ -258,8 +379,9 @@ impl OnlineChecker {
     }
 
     /// Advance the (virtual) clock and finalize every transaction whose
-    /// EXT timeout has expired (paper's `TIMEOUT` procedure).
-    pub fn tick(&mut self, now_ms: u64) {
+    /// EXT timeout has expired (paper's `TIMEOUT` procedure), returning
+    /// the finalizations and EXT violations that produced.
+    pub fn tick(&mut self, now_ms: u64) -> Vec<CheckEvent> {
         self.now_ms = self.now_ms.max(now_ms);
         while let Some(&Reverse((deadline, tid))) = self.deadlines.peek() {
             if deadline > self.now_ms {
@@ -268,30 +390,36 @@ impl OnlineChecker {
             self.deadlines.pop();
             self.finalize_txn(tid);
         }
+        self.take_events()
     }
 
     /// Finalize everything regardless of deadlines (end of stream).
-    pub fn drain(&mut self) {
+    pub fn drain(&mut self) -> Vec<CheckEvent> {
         while let Some(Reverse((_, tid))) = self.deadlines.pop() {
             self.finalize_txn(tid);
         }
+        self.take_events()
     }
 
     /// Drain and produce the outcome.
     pub fn finish(mut self) -> AionOutcome {
         self.drain();
-        AionOutcome { report: self.report, stats: self.stats, flips: self.flips.summary() }
+        Outcome::new(self.checker_name(), self.report, self.stats.received)
+            .with_stats(self.stats)
+            .with_flips(self.flips.summary())
     }
 
-    /// Receive one transaction at (virtual) time `now_ms`.
-    pub fn receive(&mut self, txn: Transaction, now_ms: u64) {
+    /// Receive one transaction at (virtual) time `now_ms`, returning the
+    /// events this arrival produced: definitive violations, tentative
+    /// verdict flips of earlier transactions, and GC spill passes.
+    pub fn receive(&mut self, txn: Transaction, now_ms: u64) -> Vec<CheckEvent> {
         self.now_ms = self.now_ms.max(now_ms);
         self.stats.received += 1;
 
         // --- integrity -----------------------------------------------------
         if !self.all_tids.insert(txn.tid) {
-            self.report.push(Violation::DuplicateTid { tid: txn.tid });
-            return;
+            self.emit(Violation::DuplicateTid { tid: txn.tid });
+            return self.take_events();
         }
         let mut tss = vec![txn.start_ts];
         if txn.commit_ts != txn.start_ts {
@@ -300,7 +428,7 @@ impl OnlineChecker {
         for ts in tss {
             match self.ts_owner.get(&ts) {
                 Some(&owner) if owner != txn.tid => {
-                    self.report.push(Violation::DuplicateTimestamp { ts, t1: owner, t2: txn.tid });
+                    self.emit(Violation::DuplicateTimestamp { ts, t1: owner, t2: txn.tid });
                 }
                 _ => {
                     self.ts_owner.insert(ts, txn.tid);
@@ -313,12 +441,12 @@ impl OnlineChecker {
 
         // --- Eq. (1) ---------------------------------------------------------
         if txn.start_ts > txn.commit_ts {
-            self.report.push(Violation::TimestampOrder {
+            self.emit(Violation::TimestampOrder {
                 tid: txn.tid,
                 start_ts: txn.start_ts,
                 commit_ts: txn.commit_ts,
             });
-            return; // malformed: do not poison the versioned state
+            return self.take_events(); // malformed: do not poison the versioned state
         }
 
         // --- reload spilled state if this arrival reaches below the GC
@@ -336,6 +464,7 @@ impl OnlineChecker {
         self.process(txn);
         self.maybe_gc();
         self.stats.peak_resident_txns = self.stats.peak_resident_txns.max(self.txns.len());
+        self.take_events()
     }
 
     fn check_session(&mut self, txn: &Transaction) {
@@ -349,7 +478,7 @@ impl OnlineChecker {
             Mode::Ser => txn.sno != expected || txn.commit_ts <= last_cts,
         };
         if violated {
-            self.report.push(Violation::Session {
+            self.emit(Violation::Session {
                 tid: txn.tid,
                 sid: txn.sid,
                 expected_sno: expected,
@@ -412,7 +541,7 @@ impl OnlineChecker {
                                     observed: r.observed.clone(),
                                 },
                             };
-                            self.report.push(v);
+                            self.emit(v);
                         }
                         r.settled = true;
                     } else if r.muts_before.is_empty() {
@@ -456,7 +585,7 @@ impl OnlineChecker {
                 match classify_mismatch(&r.muts_before, &r.observed) {
                     MismatchAxiom::Int => {
                         // Stable under asynchrony: report immediately.
-                        self.report.push(Violation::Int {
+                        self.emit(Violation::Int {
                             tid,
                             key: r.key,
                             op_index: r.op_index as usize,
@@ -496,9 +625,7 @@ impl OnlineChecker {
         let mut conflicts: Vec<(Key, TxnId)> = Vec::new();
         if self.cfg.mode == Mode::Si {
             for (key, _) in &write_set {
-                for other in
-                    self.ongoing.register(*key, tid, txn.start_event(), commit_ev, false)
-                {
+                for other in self.ongoing.register(*key, tid, txn.start_event(), commit_ev, false) {
                     conflicts.push((*key, other));
                 }
             }
@@ -507,9 +634,8 @@ impl OnlineChecker {
             // The earlier committer reports (matching CHRONOS's convention).
             let other_cts =
                 self.txns.get(&other).map(|t| t.txn.commit_ts).unwrap_or(Timestamp::MIN);
-            let (t1, t2) =
-                if other_cts < txn.commit_ts { (other, tid) } else { (tid, other) };
-            self.report.push(Violation::NoConflict { key, t1, t2 });
+            let (t1, t2) = if other_cts < txn.commit_ts { (other, tid) } else { (tid, other) };
+            self.emit(Violation::NoConflict { key, t1, t2 });
         }
 
         // -- register the transaction and its deadline ----------------------
@@ -564,6 +690,11 @@ impl OnlineChecker {
             let rectified =
                 if new_ok { r.wrong_since.map(|w| self.now_ms.saturating_sub(w)) } else { None };
             self.flips.record_flip(rref.tid, key, rectified);
+            self.emit_event(|| CheckEvent::VerdictFlip {
+                tid: rref.tid,
+                key,
+                rectified_after_ms: rectified,
+            });
             let t = self.txns.get_mut(&rref.tid).expect("present above");
             let r = &mut t.reads[rref.read_idx as usize];
             r.ok = new_ok;
@@ -626,9 +757,11 @@ impl OnlineChecker {
                 });
             }
         }
+        let n = viols.len() as u32;
         for v in viols {
-            self.report.push(v);
+            self.emit(v);
         }
+        self.emit_event(|| CheckEvent::ExtFinalized { tid, violations: n });
         self.txns.get_mut(&tid).expect("present above").finalized = true;
         self.stats.finalized += 1;
     }
@@ -686,6 +819,8 @@ impl OnlineChecker {
         self.stats.gc_spills += 1;
         self.stats.spilled_txns += entries.len();
         self.stats.spill_bytes += bytes as u64;
+        let (spilled, resident_after) = (entries.len(), self.txns.len());
+        self.emit_event(|| CheckEvent::SpillPass { spilled, bytes: bytes as u64, resident_after });
         self.gc_horizon_ts =
             Some(self.gc_horizon_ts.map_or(max_spilled_cts, |h| h.max(max_spilled_cts)));
 
@@ -726,13 +861,7 @@ impl OnlineChecker {
                     for (key, _) in &e.write_set {
                         // Conflicts among reloaded transactions were already
                         // reported before they were spilled.
-                        self.ongoing.register(
-                            *key,
-                            tid,
-                            e.txn.start_event(),
-                            commit_ev,
-                            true,
-                        );
+                        self.ongoing.register(*key, tid, e.txn.start_event(), commit_ev, true);
                     }
                 }
                 self.txns.insert(
@@ -747,6 +876,24 @@ impl OnlineChecker {
                 );
             }
         }
+    }
+}
+
+impl Checker for OnlineChecker {
+    fn name(&self) -> &'static str {
+        self.checker_name()
+    }
+
+    fn feed(&mut self, txn: Transaction, now_ms: u64) -> Vec<CheckEvent> {
+        self.receive(txn, now_ms)
+    }
+
+    fn tick(&mut self, now_ms: u64) -> Vec<CheckEvent> {
+        OnlineChecker::tick(self, now_ms)
+    }
+
+    fn finish(self) -> Outcome {
+        OnlineChecker::finish(self)
     }
 }
 
@@ -829,10 +976,7 @@ mod tests {
     #[test]
     fn int_violation_reported_immediately() {
         let mut a = checker();
-        a.receive(
-            t(1, 0, 0, 1, 2).put(Key(1), Value(5)).read(Key(1), Value(6)).build(),
-            0,
-        );
+        a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(5)).read(Key(1), Value(6)).build(), 0);
         assert_eq!(a.report().count(AxiomKind::Int), 1, "INT is stable, no waiting");
     }
 
@@ -909,17 +1053,12 @@ mod tests {
         // Writer W2 appends on top of W1, but W1 arrives later: W2's
         // published list must be recomputed and the reader re-justified.
         let k = Key(1);
-        let mut a = OnlineChecker::new(AionConfig {
-            kind: DataKind::List,
-            ..AionConfig::default()
-        });
+        let mut a =
+            OnlineChecker::new(AionConfig { kind: DataKind::List, ..AionConfig::default() });
         // Arrive out of order: W2 (interval [3,4]) first, then reader,
         // then W1 ([1,2]).
         a.receive(t(2, 1, 0, 3, 4).append(k, Value(20)).build(), 0);
-        a.receive(
-            t(3, 2, 0, 5, 6).read_list(k, vec![Value(10), Value(20)]).build(),
-            0,
-        );
+        a.receive(t(3, 2, 0, 5, 6).read_list(k, vec![Value(10), Value(20)]).build(), 0);
         a.receive(t(1, 0, 0, 1, 2).append(k, Value(10)).build(), 0);
         let out = a.finish();
         assert!(out.is_ok(), "cascade should rejustify the reader: {}", out.report);
@@ -967,10 +1106,7 @@ mod tests {
         // No ticks: nothing finalizes, so nothing may be spilled (the
         // paper's worst case).
         for i in 1..=10u64 {
-            a.receive(
-                t(i, i as u32 - 1, 0, i * 10, i * 10 + 5).read(Key(1), Value(0)).build(),
-                0,
-            );
+            a.receive(t(i, i as u32 - 1, 0, i * 10, i * 10 + 5).read(Key(1), Value(0)).build(), 0);
         }
         assert_eq!(a.stats().spilled_txns, 0);
         assert_eq!(a.resident_txns(), 10);
@@ -990,6 +1126,96 @@ mod tests {
         assert_eq!(out.flips.pairs_with_flips, 1);
         assert_eq!(out.flips.txns_with_flips, 1);
         assert_eq!(out.flips.rectify_ms, vec![7]);
+    }
+
+    #[test]
+    fn events_stream_incrementally() {
+        let mut a = checker();
+        // A stable INT violation is emitted as an event at arrival.
+        let evs =
+            a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(5)).read(Key(1), Value(6)).build(), 0);
+        assert!(
+            evs.iter().any(|e| matches!(e, CheckEvent::Violation(Violation::Int { .. }))),
+            "{evs:?}"
+        );
+        // A tentatively-wrong read flips at arrival...
+        let evs = a.receive(t(2, 1, 0, 3, 4).read(Key(2), Value(7)).build(), 0);
+        assert!(evs.iter().all(|e| !e.is_violation()), "EXT must stay tentative: {evs:?}");
+        // ...and flips back when the justifying writer shows up late.
+        let evs = a.receive(t(3, 2, 0, 1, 2).put(Key(2), Value(7)).build(), 9);
+        assert!(
+            evs.iter().any(|e| matches!(
+                e,
+                CheckEvent::VerdictFlip { tid: TxnId(2), rectified_after_ms: Some(9), .. }
+            )),
+            "{evs:?}"
+        );
+        // The timeout finalizes t2 with zero violations.
+        let evs = a.tick(10_000);
+        assert!(
+            evs.contains(&CheckEvent::ExtFinalized { tid: TxnId(2), violations: 0 }),
+            "{evs:?}"
+        );
+        let out = a.finish();
+        assert_eq!(out.report.count(AxiomKind::Int), 1);
+        assert_eq!(out.report.count(AxiomKind::Ext), 0);
+    }
+
+    #[test]
+    fn ext_violation_event_carries_finalization() {
+        let mut a = checker();
+        a.receive(t(1, 0, 0, 3, 4).read(Key(1), Value(9)).build(), 0);
+        let evs = a.tick(6_000);
+        let viols = evs.iter().filter(|e| e.is_violation()).count();
+        assert_eq!(viols, 1, "{evs:?}");
+        assert!(evs.contains(&CheckEvent::ExtFinalized { tid: TxnId(1), violations: 1 }));
+    }
+
+    #[test]
+    fn spill_pass_event_emitted_under_gc() {
+        let mut a = OnlineChecker::builder()
+            .ext_timeout_ms(10)
+            .gc(OnlineGcPolicy::Checking { max_txns: 8 })
+            .build();
+        let mut saw_spill = false;
+        for i in 1..=40u64 {
+            let txn = t(i, 0, (i - 1) as u32, i * 10, i * 10 + 5).put(Key(i % 4), Value(i)).build();
+            let mut evs = a.receive(txn, i * 100);
+            evs.extend(a.tick(i * 100));
+            saw_spill |= evs.iter().any(|e| matches!(e, CheckEvent::SpillPass { .. }));
+        }
+        assert!(saw_spill, "GC must announce spill passes");
+    }
+
+    #[test]
+    fn events_off_keeps_verdicts_but_streams_nothing() {
+        let mut a = OnlineChecker::builder().events(false).build();
+        let evs =
+            a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(5)).read(Key(1), Value(6)).build(), 0);
+        assert!(evs.is_empty(), "events disabled: {evs:?}");
+        assert!(a.tick(10_000).is_empty());
+        let out = a.finish();
+        assert_eq!(out.report.count(AxiomKind::Int), 1, "report is unaffected");
+    }
+
+    #[test]
+    fn builder_roundtrips_config() {
+        let cfg = AionConfig::builder()
+            .kind(DataKind::List)
+            .mode(Mode::Ser)
+            .ext_timeout_ms(123)
+            .gc(OnlineGcPolicy::Full { max_txns: 7 })
+            .track_flip_details(true)
+            .naive_recheck(true)
+            .config();
+        assert_eq!(cfg.kind, DataKind::List);
+        assert_eq!(cfg.mode, Mode::Ser);
+        assert_eq!(cfg.ext_timeout_ms, 123);
+        assert_eq!(cfg.gc, OnlineGcPolicy::Full { max_txns: 7 });
+        assert!(cfg.track_flip_details && cfg.naive_recheck);
+        let ck = OnlineChecker::builder().mode(Mode::Ser).build();
+        assert_eq!(ck.checker_name(), "aion-ser");
+        assert_eq!(Checker::name(&ck), "aion-ser");
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! order (AION's input assumption). [`run_plan`] then drives a checker
 //! through the plan, measuring wall-clock throughput per second (Fig. 12).
 
-use crate::checker::{AionOutcome, OnlineChecker};
-use aion_types::{FxHashMap, History, NormalSampler, SessionId, SplitMix64, Transaction};
+use aion_types::{
+    CheckEvent, Checker, FxHashMap, History, NormalSampler, Outcome, SessionId, SplitMix64,
+    Transaction,
+};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -97,11 +99,18 @@ fn enforce_session_order(arrivals: Vec<Arrival>) -> Vec<Arrival> {
     out
 }
 
+/// One event with the virtual arrival time at which it surfaced.
+pub type TimedEvent = (u64, CheckEvent);
+
 /// Result of driving a checker through an arrival plan.
 #[derive(Debug)]
 pub struct OnlineRunReport {
     /// The checking outcome (violations, stats, flip-flops).
-    pub outcome: AionOutcome,
+    pub outcome: Outcome,
+    /// Every [`CheckEvent`] the checker emitted, stamped with the
+    /// virtual time of the `feed`/`tick` call that produced it — the
+    /// per-event timeline of the session.
+    pub timeline: Vec<TimedEvent>,
     /// Transactions processed per wall-clock second, in order.
     pub throughput: Vec<u32>,
     /// Total wall-clock processing time.
@@ -118,33 +127,61 @@ impl OnlineRunReport {
         }
         self.processed as f64 / self.wall.as_secs_f64()
     }
+
+    /// Timeline events that committed a violation mid-stream.
+    pub fn violation_events(&self) -> usize {
+        self.timeline.iter().filter(|(_, e)| e.is_violation()).count()
+    }
+
+    /// Tentative-verdict flips observed mid-stream.
+    pub fn flip_events(&self) -> usize {
+        self.timeline.iter().filter(|(_, e)| matches!(e, CheckEvent::VerdictFlip { .. })).count()
+    }
+
+    /// EXT finalizations observed, including the end-of-run drain.
+    pub fn finalization_events(&self) -> usize {
+        self.timeline.iter().filter(|(_, e)| matches!(e, CheckEvent::ExtFinalized { .. })).count()
+    }
+
+    /// GC spill passes observed mid-stream.
+    pub fn spill_events(&self) -> usize {
+        self.timeline.iter().filter(|(_, e)| matches!(e, CheckEvent::SpillPass { .. })).count()
+    }
 }
 
-/// Drive `checker` through `plan` as fast as possible (arrival rate
-/// exceeding checking speed, as in the paper's throughput experiments):
-/// virtual time advances with each arrival's timestamp, wall-clock
-/// throughput is bucketed per second, and all pending verdicts are drained
-/// at the end.
-pub fn run_plan(mut checker: OnlineChecker, plan: &[Arrival]) -> OnlineRunReport {
+/// Drive any [`Checker`] through `plan` as fast as possible (arrival
+/// rate exceeding checking speed, as in the paper's throughput
+/// experiments): virtual time advances with each arrival's timestamp,
+/// wall-clock throughput is bucketed per second, and every emitted
+/// event is collected into a timeline. Before `finish`, one final
+/// `tick` at the end of time expires every outstanding EXT deadline,
+/// so end-of-stream finalizations and their violations appear on the
+/// timeline too (stamped with the last arrival time) instead of being
+/// visible only in the terminal report.
+pub fn run_plan<C: Checker>(mut checker: C, plan: &[Arrival]) -> OnlineRunReport {
     let start = Instant::now();
     let mut throughput: Vec<u32> = Vec::new();
+    let mut timeline: Vec<TimedEvent> = Vec::new();
     for (at, txn) in plan {
-        checker.tick(*at);
-        checker.receive(txn.clone(), *at);
+        timeline.extend(checker.tick(*at).into_iter().map(|e| (*at, e)));
+        timeline.extend(checker.feed(txn.clone(), *at).into_iter().map(|e| (*at, e)));
         let sec = start.elapsed().as_secs() as usize;
         if throughput.len() <= sec {
             throughput.resize(sec + 1, 0);
         }
         throughput[sec] += 1;
     }
+    let end = plan.last().map(|(at, _)| *at).unwrap_or(0);
+    timeline.extend(checker.tick(u64::MAX).into_iter().map(|e| (end, e)));
     let wall = start.elapsed();
     let outcome = checker.finish();
-    OnlineRunReport { outcome, throughput, wall, processed: plan.len() }
+    OnlineRunReport { outcome, timeline, throughput, wall, processed: plan.len() }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checker::OnlineChecker;
     use aion_types::{DataKind, Key, TxnBuilder, Value};
 
     fn history(n: u64) -> History {
@@ -190,15 +227,9 @@ mod tests {
     #[test]
     fn plan_reorders_across_sessions_under_high_variance() {
         let h = history(300);
-        let cfg = FeedConfig {
-            batch_size: 50,
-            delay_std_ms: 50.0,
-            ..FeedConfig::default()
-        };
+        let cfg = FeedConfig { batch_size: 50, delay_std_ms: 50.0, ..FeedConfig::default() };
         let plan = feed_plan(&h, &cfg);
-        let out_of_commit_order = plan
-            .windows(2)
-            .any(|w| w[0].1.commit_ts > w[1].1.commit_ts);
+        let out_of_commit_order = plan.windows(2).any(|w| w[0].1.commit_ts > w[1].1.commit_ts);
         assert!(out_of_commit_order, "delays should reorder arrivals");
     }
 
@@ -223,5 +254,56 @@ mod tests {
         assert_eq!(r.outcome.stats.finalized, 100);
         assert!(r.mean_tps() > 0.0);
         assert_eq!(r.throughput.iter().map(|&c| c as usize).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn run_plan_collects_event_timeline() {
+        // Valid history whose reads stay tentative until their timeout;
+        // with a short EXT timeout and a long feed, the finalizations
+        // land inside the run, not just at finish().
+        let mut h = History::new(DataKind::Kv);
+        h.push(TxnBuilder::new(1).session(0, 0).interval(10, 11).put(Key(1), Value(1)).build());
+        let mut sno = [0u32; 4];
+        for i in 2..=200u64 {
+            let s = (i % 4) as usize;
+            h.push(
+                TxnBuilder::new(i)
+                    .session(s as u32 + 1, sno[s])
+                    .interval(i * 10, i * 10 + 5)
+                    .read(Key(1), Value(1))
+                    .build(),
+            );
+            sno[s] += 1;
+        }
+        let plan = feed_plan(
+            &h,
+            &FeedConfig { batch_size: 10, batch_interval_ms: 500, ..FeedConfig::default() },
+        );
+        let checker = OnlineChecker::builder().ext_timeout_ms(100).build();
+        let r = run_plan(checker, &plan);
+        assert!(r.outcome.is_ok(), "{}", r.outcome.report);
+        assert!(
+            r.finalization_events() > 0,
+            "streaming finalizations expected, timeline: {} events",
+            r.timeline.len()
+        );
+        assert_eq!(r.violation_events(), 0);
+        // Timestamps on the timeline are the virtual feed times.
+        assert!(r.timeline.iter().all(|(at, _)| *at <= plan.last().unwrap().0));
+    }
+
+    #[test]
+    fn end_of_stream_violations_reach_the_timeline() {
+        // The bad read's EXT deadline lies beyond the last arrival, so
+        // no in-loop tick can fire it: the end-of-run drain must still
+        // surface the violation as a timeline event, not only in the
+        // terminal report.
+        let mut h = History::new(DataKind::Kv);
+        h.push(TxnBuilder::new(1).session(0, 0).interval(1, 2).read(Key(1), Value(9)).build());
+        let plan: Vec<Arrival> = h.txns.iter().map(|t| (0u64, t.clone())).collect();
+        let r = run_plan(OnlineChecker::new_si(DataKind::Kv), &plan);
+        assert_eq!(r.outcome.report.len(), 1);
+        assert_eq!(r.violation_events(), 1, "timeline must carry the drained violation");
+        assert_eq!(r.finalization_events(), 1);
     }
 }

@@ -60,8 +60,10 @@ impl<T: Clone + PartialEq> KeyEventIndex<T> {
     pub fn prune_below(&mut self, horizon: EventKey) -> usize {
         let mut dropped = 0;
         self.keys.retain(|_, chain| {
-            let old: Vec<EventKey> =
-                chain.range((Bound::Unbounded, Bound::Excluded(horizon))).map(|(e, _)| *e).collect();
+            let old: Vec<EventKey> = chain
+                .range((Bound::Unbounded, Bound::Excluded(horizon)))
+                .map(|(e, _)| *e)
+                .collect();
             for e in old {
                 if let Some(items) = chain.remove(&e) {
                     dropped += items.len();
@@ -135,11 +137,8 @@ impl OngoingIndex {
         at_start.push(tid);
         self.map.insert(key, start, at_start);
         // Version at our commit: ongoing just before commit, minus us.
-        let mut at_commit: Vec<TxnId> = self
-            .map
-            .get_before(key, commit)
-            .map(|(_, v)| v.clone())
-            .unwrap_or_default();
+        let mut at_commit: Vec<TxnId> =
+            self.map.get_before(key, commit).map(|(_, v)| v.clone()).unwrap_or_default();
         at_commit.retain(|&t| t != tid);
         self.map.insert(key, commit, at_commit);
 

@@ -30,8 +30,11 @@ pub mod spill;
 pub mod stats;
 pub mod versioned;
 
-pub use checker::{AionConfig, AionOutcome, Mode, OnlineChecker, OnlineGcPolicy};
-pub use feed::{feed_plan, run_plan, Arrival, FeedConfig, OnlineRunReport};
+pub use aion_types::check::{CheckEvent, Checker, Outcome};
+pub use checker::{
+    AionConfig, AionOutcome, Mode, OnlineChecker, OnlineCheckerBuilder, OnlineGcPolicy,
+};
+pub use feed::{feed_plan, run_plan, Arrival, FeedConfig, OnlineRunReport, TimedEvent};
 pub use spill::{SpillEntry, SpillStore};
 pub use stats::{AionStats, FlipSummary};
 pub use versioned::VersionedMap;

@@ -60,12 +60,8 @@ impl SpillStore {
 
     /// A spill store backed by a file at `path` (created/truncated).
     pub fn on_disk(path: PathBuf) -> std::io::Result<SpillStore> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(&path)?;
         Ok(SpillStore { backend: Backend::Disk { file, _path: path }, segments: Vec::new() })
     }
 

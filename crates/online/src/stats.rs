@@ -6,8 +6,18 @@
 //! unique transactions are involved, and (c) how quickly false
 //! positives/negatives are rectified. [`FlipTracker`] collects exactly
 //! that; detail collection can be disabled for throughput runs.
+//!
+//! The aggregate types live in `aion_types::check` so the uniform
+//! [`aion_types::Outcome`] can carry them for every checker; they are
+//! re-exported here under their historical names.
 
 use aion_types::{FxHashMap, FxHashSet, Key, TxnId};
+
+pub use aion_types::check::{CheckerStats, FlipSummary};
+
+/// Historical name for the online checker's runtime counters, now the
+/// workspace-wide [`CheckerStats`].
+pub type AionStats = CheckerStats;
 
 /// Collects flip-flop events.
 #[derive(Debug, Default)]
@@ -54,61 +64,6 @@ impl FlipTracker {
             rectify_ms: self.rectify_ms.clone(),
         }
     }
-}
-
-/// Aggregated flip-flop statistics (paper Figs. 13, 14, 17–21).
-#[derive(Clone, Debug, Default)]
-pub struct FlipSummary {
-    /// Total verdict switches observed.
-    pub total_flips: u64,
-    /// Number of (txn, key) pairs that flipped at least once.
-    pub pairs_with_flips: usize,
-    /// Number of distinct transactions involved in flips.
-    pub txns_with_flips: usize,
-    /// Pairs flipping exactly 1, 2, 3, and ≥4 times (Fig. 13a buckets).
-    pub flip_histogram: [usize; 4],
-    /// Time (ms) each false verdict took to rectify (Fig. 13b).
-    pub rectify_ms: Vec<u64>,
-}
-
-impl FlipSummary {
-    /// Bucket the rectification times as in Fig. 13b:
-    /// `0–1`, `1–2`, `2–10`, `10–99`, `≥100` ms.
-    pub fn rectify_histogram(&self) -> [usize; 5] {
-        let mut h = [0usize; 5];
-        for &ms in &self.rectify_ms {
-            let b = match ms {
-                0..=1 => 0,
-                2 => 1,
-                3..=10 => 2,
-                11..=99 => 3,
-                _ => 4,
-            };
-            h[b] += 1;
-        }
-        h
-    }
-}
-
-/// Online checker runtime counters.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct AionStats {
-    /// Transactions received.
-    pub received: usize,
-    /// Transactions whose EXT verdicts are final (timeout processed).
-    pub finalized: usize,
-    /// Peak transactions resident in memory.
-    pub peak_resident_txns: usize,
-    /// GC spill passes performed.
-    pub gc_spills: usize,
-    /// Transactions written to the spill store.
-    pub spilled_txns: usize,
-    /// Transactions reloaded from the spill store.
-    pub reloaded_txns: usize,
-    /// Bytes written to the spill store.
-    pub spill_bytes: u64,
-    /// Re-evaluations of reads triggered by out-of-order arrivals.
-    pub reevaluations: u64,
 }
 
 #[cfg(test)]

@@ -81,11 +81,7 @@ impl<V> VersionedMap<V> {
     /// The earliest version of `key` strictly after event `at`, if any —
     /// the re-check bound ("until the key is overwritten", paper step ③).
     pub fn next_after(&self, key: Key, at: EventKey) -> Option<EventKey> {
-        self.keys
-            .get(&key)?
-            .range((Bound::Excluded(at), Bound::Unbounded))
-            .next()
-            .map(|(e, _)| *e)
+        self.keys.get(&key)?.range((Bound::Excluded(at), Bound::Unbounded)).next().map(|(e, _)| *e)
     }
 
     /// Iterate versions of `key` within `(lo, hi)` exclusive on both ends.
@@ -128,8 +124,7 @@ impl<V> VersionedMap<V> {
                 .next_back()
                 .map(|(e, _)| *e);
             if let Some(base) = keep_from {
-                let old: Vec<EventKey> =
-                    chain.range(..base).map(|(e, _)| *e).collect();
+                let old: Vec<EventKey> = chain.range(..base).map(|(e, _)| *e).collect();
                 dropped += old.len();
                 for e in old {
                     chain.remove(&e);
@@ -143,9 +138,7 @@ impl<V> VersionedMap<V> {
 
     /// Iterate all `(key, event, value)` triples (unspecified key order).
     pub fn iter(&self) -> impl Iterator<Item = (Key, EventKey, &V)> + '_ {
-        self.keys
-            .iter()
-            .flat_map(|(k, chain)| chain.iter().map(move |(e, v)| (*k, *e, v)))
+        self.keys.iter().flat_map(|(k, chain)| chain.iter().map(move |(e, v)| (*k, *e, v)))
     }
 }
 

@@ -123,8 +123,8 @@ proptest! {
 // ------------------------------------------------------------------ checkers
 
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
-    (30usize..150, 1usize..8, 1usize..6, 0.0f64..1.0, 2u64..30, 0u64..500)
-        .prop_map(|(txns, sessions, ops, reads, keys, seed)| {
+    (30usize..150, 1usize..8, 1usize..6, 0.0f64..1.0, 2u64..30, 0u64..500).prop_map(
+        |(txns, sessions, ops, reads, keys, seed)| {
             WorkloadSpec::default()
                 .with_txns(txns)
                 .with_sessions(sessions)
@@ -133,7 +133,8 @@ fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
                 .with_keys(keys)
                 .with_seed(seed)
                 .with_dist(KeyDist::Uniform)
-        })
+        },
+    )
 }
 
 /// A random arrival order that preserves per-session order (AION's input
@@ -203,12 +204,12 @@ proptest! {
         }
         let offline = counts(&check_si_report(&h));
 
-        let in_order = run_online(&h.txns, AionConfig { kind: h.kind, ..Default::default() });
+        let in_order = run_online(&h.txns, AionConfig::builder().kind(h.kind).config());
         prop_assert_eq!(counts(&in_order.report), offline, "in-order vs offline");
 
         let shuffled = session_respecting_shuffle(&h, shuffle_seed);
         let out_of_order =
-            run_online(&shuffled, AionConfig { kind: h.kind, ..Default::default() });
+            run_online(&shuffled, AionConfig::builder().kind(h.kind).config());
         prop_assert_eq!(counts(&out_of_order.report), offline, "shuffled vs offline");
     }
 
@@ -221,10 +222,10 @@ proptest! {
     ) {
         let h = generate_history(&spec, IsolationLevel::Si);
         let shuffled = session_respecting_shuffle(&h, shuffle_seed);
-        let opt = run_online(&shuffled, AionConfig { kind: h.kind, ..Default::default() });
+        let opt = run_online(&shuffled, AionConfig::builder().kind(h.kind).config());
         let naive = run_online(
             &shuffled,
-            AionConfig { kind: h.kind, naive_recheck: true, ..Default::default() },
+            AionConfig::builder().kind(h.kind).naive_recheck(true).config(),
         );
         prop_assert_eq!(counts(&opt.report), counts(&naive.report));
         prop_assert!(naive.stats.reevaluations >= opt.stats.reevaluations);
@@ -237,15 +238,15 @@ proptest! {
         let h = generate_history(&spec, IsolationLevel::Si);
         let shuffled = session_respecting_shuffle(&h, shuffle_seed);
         // Short timeout so transactions finalize quickly and GC can run.
-        let base = AionConfig {
-            kind: h.kind,
-            ext_timeout_ms: 5,
-            ..Default::default()
-        };
+        let base = AionConfig::builder().kind(h.kind).ext_timeout_ms(5).config();
         let no_gc = run_online(&shuffled, base.clone());
         let gc = run_online(
             &shuffled,
-            AionConfig { gc: OnlineGcPolicy::Full { max_txns: 10 }, ..base },
+            {
+                let mut cfg = base;
+                cfg.gc = OnlineGcPolicy::Full { max_txns: 10 };
+                cfg
+            },
         );
         prop_assert_eq!(counts(&no_gc.report), counts(&gc.report));
     }
@@ -258,7 +259,7 @@ proptest! {
         let shuffled = session_respecting_shuffle(&h, shuffle_seed);
         let online = run_online(
             &shuffled,
-            AionConfig { kind: h.kind, mode: Mode::Ser, ..Default::default() },
+            AionConfig::builder().kind(h.kind).mode(Mode::Ser).config(),
         );
         prop_assert_eq!(counts(&online.report), offline);
     }
@@ -273,7 +274,7 @@ proptest! {
         );
         let offline = counts(&check_si_report(&h));
         let shuffled = session_respecting_shuffle(&h, shuffle_seed);
-        let online = run_online(&shuffled, AionConfig { kind: h.kind, ..Default::default() });
+        let online = run_online(&shuffled, AionConfig::builder().kind(h.kind).config());
         prop_assert_eq!(counts(&online.report), offline);
     }
 }

@@ -133,10 +133,6 @@ mod tests {
         h
     }
 
-
-
-
-
     #[test]
     fn clock_skew_preserves_uniqueness() {
         let mut h = sample_history(50);

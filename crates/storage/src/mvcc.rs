@@ -136,9 +136,7 @@ impl Store for MvccStore {
             inner.oracle.next_ts()
         };
         let tid = TxnId(inner.next_tid.fetch_add(1, Ordering::Relaxed));
-        let rng = SplitMix64::new(
-            inner.faults.seed ^ tid.0.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-        );
+        let rng = SplitMix64::new(inner.faults.seed ^ tid.0.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         MvccTxn { inner, tid, sid, sno, start_ts, ops: Vec::new(), buffer: Vec::new(), rng }
     }
 
@@ -398,10 +396,7 @@ mod tests {
         a.commit().unwrap();
         let mut b = store.begin(SessionId(0), 1);
         b.append(k(1), Value(2)).unwrap();
-        assert_eq!(
-            b.read(k(1)).unwrap(),
-            Snapshot::List(vec![Value(1), Value(2)].into())
-        );
+        assert_eq!(b.read(k(1)).unwrap(), Snapshot::List(vec![Value(1), Value(2)].into()));
         b.commit().unwrap();
         assert_eq!(store.latest(k(1)), Snapshot::List(vec![Value(1), Value(2)].into()));
     }

@@ -93,10 +93,7 @@ impl SkewedHlcOracle {
         assert!(!skews.is_empty() && skews.len() <= 1 << NODE_BITS);
         SkewedHlcOracle {
             physical: AtomicU64::new(1),
-            nodes: skews
-                .iter()
-                .map(|&skew| NodeClock { skew, last: AtomicU64::new(0) })
-                .collect(),
+            nodes: skews.iter().map(|&skew| NodeClock { skew, last: AtomicU64::new(0) }).collect(),
         }
     }
 
@@ -114,9 +111,7 @@ impl SkewedHlcOracle {
         // the previous value; recompute the stored (new) value from it.
         let prev = clock
             .last
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |last| {
-                Some(last.max(observed) + 1)
-            })
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |last| Some(last.max(observed) + 1))
             .expect("fetch_update closure always returns Some");
         let hlc = prev.max(observed) + 1;
         Timestamp((hlc << NODE_BITS) | node as u64)

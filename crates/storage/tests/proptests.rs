@@ -2,7 +2,9 @@
 //! operational SI contract of paper Algorithm 1 under arbitrary operation
 //! interleavings, and the oracles must issue unique timestamps.
 
-use aion_storage::{CentralOracle, MvccStore, Oracle, SkewedHlcOracle, Store, StoreTxn, TwoPlStore};
+use aion_storage::{
+    CentralOracle, MvccStore, Oracle, SkewedHlcOracle, Store, StoreTxn, TwoPlStore,
+};
 use aion_types::{DataKind, Key, SessionId, Snapshot, Timestamp, Value};
 use proptest::prelude::*;
 use std::collections::HashMap;

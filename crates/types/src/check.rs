@@ -1,0 +1,335 @@
+//! The streaming checker-session API shared by every checker in the
+//! workspace.
+//!
+//! The paper's central claim is *online* checking: verdicts must be
+//! available **while** the history streams in, not only in a terminal
+//! report. [`Checker`] is the session abstraction that makes this a
+//! first-class API: a checker is fed one transaction at a time
+//! ([`Checker::feed`]), its clock is advanced ([`Checker::tick`]), and
+//! both calls return the [`CheckEvent`]s that step produced — committed
+//! violations, tentative-verdict flip-flops, EXT finalizations, GC spill
+//! passes. [`Checker::finish`] closes the session and returns the
+//! uniform [`Outcome`].
+//!
+//! Offline checkers (CHRONOS, the baselines) implement the same trait by
+//! buffering fed transactions and doing all work in `finish`; this lets
+//! benches, feed drivers and examples swap checkers polymorphically, the
+//! way dbcop hides its consistency levels behind one witness-producing
+//! interface.
+//!
+//! ## Event-stream semantics
+//!
+//! * [`CheckEvent::Violation`] — a violation became *definitive* and was
+//!   committed to the report. INT, SESSION, NOCONFLICT and integrity
+//!   violations are stable under asynchrony and are emitted at arrival;
+//!   EXT violations are emitted only when their transaction finalizes.
+//! * [`CheckEvent::VerdictFlip`] — a *tentative* EXT verdict switched
+//!   (`⊤ ↔ ⊥`) because an out-of-order arrival changed the frontier
+//!   (paper §VI-C). Nothing is committed to the report yet.
+//! * [`CheckEvent::ExtFinalized`] — a transaction's EXT timeout expired:
+//!   its tentative verdicts froze, and any still-wrong reads were
+//!   reported (each preceded by its own `Violation` event).
+//! * [`CheckEvent::SpillPass`] — the GC spilled finalized transactions
+//!   to the spill store to bound memory (paper Fig. 12).
+//!
+//! Offline adapters emit no events; their verdicts exist only at
+//! `finish`.
+
+use crate::ids::{Key, TxnId};
+use crate::txn::Transaction;
+use crate::violation::{CheckReport, Violation};
+
+/// Which isolation level a checker enforces.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Mode {
+    /// Snapshot isolation (AION / CHRONOS).
+    #[default]
+    Si,
+    /// Serializability under commit-timestamp arbitration (AION-SER /
+    /// CHRONOS-SER, paper §VI-A).
+    Ser,
+}
+
+impl Mode {
+    /// Lower-case label used in checker names and experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Si => "si",
+            Mode::Ser => "ser",
+        }
+    }
+}
+
+/// One incremental observation from a streaming checking session.
+///
+/// Returned by [`Checker::feed`] and [`Checker::tick`] in the order the
+/// underlying state changes happened. The enum is `#[non_exhaustive]`:
+/// future checkers may add event kinds without breaking consumers.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CheckEvent {
+    /// A violation became definitive and was committed to the report.
+    Violation(Violation),
+    /// A tentative EXT verdict switched (`⊤ ↔ ⊥`) for one `(txn, key)`
+    /// read because of an out-of-order arrival (a flip-flop, §VI-C).
+    VerdictFlip {
+        /// The reading transaction.
+        tid: TxnId,
+        /// The key whose read verdict switched.
+        key: Key,
+        /// For wrong→ok switches, how long the verdict had been wrong
+        /// (virtual ms); `None` for ok→wrong switches.
+        rectified_after_ms: Option<u64>,
+    },
+    /// A transaction's EXT timeout expired and its verdicts are now
+    /// frozen (paper `TIMEOUT`); late arrivals can no longer change
+    /// them.
+    ExtFinalized {
+        /// The finalized transaction.
+        tid: TxnId,
+        /// EXT violations committed at finalization (0 = all reads were
+        /// justified in time).
+        violations: u32,
+    },
+    /// The garbage collector spilled finalized transactions to disk (or
+    /// the in-memory spill store) to bound resident memory.
+    SpillPass {
+        /// Transactions written out in this pass.
+        spilled: usize,
+        /// Bytes appended to the spill store.
+        bytes: u64,
+        /// Transactions still resident after the pass.
+        resident_after: usize,
+    },
+}
+
+impl CheckEvent {
+    /// True for events that commit a violation to the report.
+    pub fn is_violation(&self) -> bool {
+        matches!(self, CheckEvent::Violation(_))
+    }
+}
+
+impl std::fmt::Display for CheckEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckEvent::Violation(v) => write!(f, "violation: {v}"),
+            CheckEvent::VerdictFlip { tid, key, rectified_after_ms: Some(ms) } => {
+                write!(f, "flip: {tid} read of {key} rectified after {ms}ms")
+            }
+            CheckEvent::VerdictFlip { tid, key, rectified_after_ms: None } => {
+                write!(f, "flip: {tid} read of {key} turned tentatively wrong")
+            }
+            CheckEvent::ExtFinalized { tid, violations } => {
+                write!(f, "finalized: {tid} ({violations} EXT violations)")
+            }
+            CheckEvent::SpillPass { spilled, bytes, resident_after } => {
+                write!(f, "gc: spilled {spilled} txns ({bytes} B), {resident_after} resident")
+            }
+        }
+    }
+}
+
+/// Runtime counters kept by streaming checkers (all zero for offline
+/// adapters, which do no incremental work).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckerStats {
+    /// Transactions received.
+    pub received: usize,
+    /// Transactions whose EXT verdicts are final (timeout processed).
+    pub finalized: usize,
+    /// Peak transactions resident in memory.
+    pub peak_resident_txns: usize,
+    /// GC spill passes performed.
+    pub gc_spills: usize,
+    /// Transactions written to the spill store.
+    pub spilled_txns: usize,
+    /// Transactions reloaded from the spill store.
+    pub reloaded_txns: usize,
+    /// Bytes written to the spill store.
+    pub spill_bytes: u64,
+    /// Re-evaluations of reads triggered by out-of-order arrivals.
+    pub reevaluations: u64,
+}
+
+/// Aggregated flip-flop statistics (paper Figs. 13, 14, 17–21).
+#[derive(Clone, Debug, Default)]
+pub struct FlipSummary {
+    /// Total verdict switches observed.
+    pub total_flips: u64,
+    /// Number of (txn, key) pairs that flipped at least once.
+    pub pairs_with_flips: usize,
+    /// Number of distinct transactions involved in flips.
+    pub txns_with_flips: usize,
+    /// Pairs flipping exactly 1, 2, 3, and ≥4 times (Fig. 13a buckets).
+    pub flip_histogram: [usize; 4],
+    /// Time (ms) each false verdict took to rectify (Fig. 13b).
+    pub rectify_ms: Vec<u64>,
+}
+
+impl FlipSummary {
+    /// Bucket the rectification times as in Fig. 13b:
+    /// `0–1`, `1–2`, `2–10`, `10–99`, `≥100` ms.
+    pub fn rectify_histogram(&self) -> [usize; 5] {
+        let mut h = [0usize; 5];
+        for &ms in &self.rectify_ms {
+            let b = match ms {
+                0..=1 => 0,
+                2 => 1,
+                3..=10 => 2,
+                11..=99 => 3,
+                _ => 4,
+            };
+            h[b] += 1;
+        }
+        h
+    }
+}
+
+/// The uniform terminal result of any checking session.
+///
+/// `#[non_exhaustive]`: construct with [`Outcome::new`] and the
+/// `with_*` setters so future fields stay non-breaking.
+#[derive(Clone, Debug, Default)]
+#[non_exhaustive]
+pub struct Outcome {
+    /// Which checker produced this outcome (e.g. `"aion-si"`,
+    /// `"chronos-ser"`, `"elle-si"`).
+    pub checker: &'static str,
+    /// Transactions processed.
+    pub txns: usize,
+    /// All violations found. Black-box baselines that only produce
+    /// anomaly descriptions leave this empty and set [`Outcome::accepted`]
+    /// plus [`Outcome::notes`] instead.
+    pub report: CheckReport,
+    /// Runtime counters (zero for offline adapters).
+    pub stats: CheckerStats,
+    /// Flip-flop statistics (empty for offline adapters).
+    pub flips: FlipSummary,
+    /// Accept/reject verdict for checkers that do not report violations
+    /// in [`Violation`] form; `None` means "derive from the report".
+    pub accepted: Option<bool>,
+    /// Human-readable findings (baseline anomalies, cycles, DNF notes).
+    pub notes: Vec<String>,
+}
+
+impl Outcome {
+    /// An outcome carrying a violation report.
+    pub fn new(checker: &'static str, report: CheckReport, txns: usize) -> Outcome {
+        Outcome { checker, txns, report, ..Outcome::default() }
+    }
+
+    /// Attach runtime counters.
+    pub fn with_stats(mut self, stats: CheckerStats) -> Outcome {
+        self.stats = stats;
+        self
+    }
+
+    /// Attach flip-flop statistics.
+    pub fn with_flips(mut self, flips: FlipSummary) -> Outcome {
+        self.flips = flips;
+        self
+    }
+
+    /// Attach an explicit accept/reject verdict (black-box baselines).
+    pub fn with_accepted(mut self, accepted: bool) -> Outcome {
+        self.accepted = Some(accepted);
+        self
+    }
+
+    /// Attach human-readable findings.
+    pub fn with_notes(mut self, notes: Vec<String>) -> Outcome {
+        self.notes = notes;
+        self
+    }
+
+    /// True when the history passed: no violations, and (for checkers
+    /// with an explicit verdict) the history was accepted.
+    pub fn is_ok(&self) -> bool {
+        self.report.is_ok() && self.accepted.unwrap_or(true)
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let verdict = match self.accepted {
+            Some(true) => "ACCEPT".to_string(),
+            Some(false) => format!("REJECT ({} findings)", self.notes.len()),
+            None => self.report.summary(),
+        };
+        write!(f, "{}: {} over {} txns", self.checker, verdict, self.txns)
+    }
+}
+
+/// A checking session: transactions stream in, [`CheckEvent`]s stream
+/// out, and [`Checker::finish`] produces the terminal [`Outcome`].
+///
+/// Implementations:
+///
+/// * `aion_online::OnlineChecker` — the paper's AION / AION-SER, fully
+///   incremental;
+/// * `aion_core::ChronosChecker` — offline CHRONOS, buffers and checks
+///   at `finish`;
+/// * `aion_baselines::{ElleChecker, EmmeChecker}` — baseline adapters,
+///   ditto.
+///
+/// Drivers generic over `Checker` (e.g. `aion_online::feed::run_plan`)
+/// can therefore replay one arrival plan through any checker and compare
+/// event timelines and outcomes.
+pub trait Checker {
+    /// Short stable identifier, e.g. `"aion-si"`.
+    fn name(&self) -> &'static str;
+
+    /// Feed one transaction at (virtual) time `now_ms`, returning the
+    /// events this arrival produced (empty for offline adapters).
+    fn feed(&mut self, txn: Transaction, now_ms: u64) -> Vec<CheckEvent>;
+
+    /// Advance the (virtual) clock, returning events produced by timer
+    /// expiry — EXT finalizations and their violations.
+    fn tick(&mut self, now_ms: u64) -> Vec<CheckEvent>;
+
+    /// End the session: flush all pending verdicts and produce the
+    /// uniform outcome.
+    fn finish(self) -> Outcome
+    where
+        Self: Sized;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Key, Timestamp, TxnId};
+
+    #[test]
+    fn outcome_is_ok_combines_report_and_verdict() {
+        let o = Outcome::new("x", CheckReport::new(), 0);
+        assert!(o.is_ok());
+        let rejected = Outcome::new("x", CheckReport::new(), 0).with_accepted(false);
+        assert!(!rejected.is_ok());
+        let mut r = CheckReport::new();
+        r.push(Violation::DuplicateTid { tid: TxnId(1) });
+        assert!(!Outcome::new("x", r, 1).is_ok());
+    }
+
+    #[test]
+    fn event_display_is_informative() {
+        let e =
+            CheckEvent::VerdictFlip { tid: TxnId(4), key: Key(2), rectified_after_ms: Some(100) };
+        let s = e.to_string();
+        assert!(s.contains("t4") && s.contains("k2") && s.contains("100ms"));
+        assert!(!e.is_violation());
+        let v = CheckEvent::Violation(Violation::TimestampOrder {
+            tid: TxnId(1),
+            start_ts: Timestamp(2),
+            commit_ts: Timestamp(1),
+        });
+        assert!(v.is_violation());
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(Mode::Si.label(), "si");
+        assert_eq!(Mode::Ser.label(), "ser");
+        assert_eq!(Mode::default(), Mode::Si);
+    }
+}

@@ -267,7 +267,8 @@ pub fn emit_text(h: &History) -> String {
     };
     let _ = writeln!(out, "# aion-history kind={kind}");
     for t in &h.txns {
-        let _ = write!(out, "T t{} s{} n{} [{},{}]", t.tid.0, t.sid.0, t.sno, t.start_ts, t.commit_ts);
+        let _ =
+            write!(out, "T t{} s{} n{} [{},{}]", t.tid.0, t.sid.0, t.sno, t.start_ts, t.commit_ts);
         for op in &t.ops {
             let _ = write!(out, " {op:?}");
         }
@@ -389,13 +390,7 @@ mod tests {
                 .read(Key(2), Value(0))
                 .build(),
         );
-        h.push(
-            TxnBuilder::new(2)
-                .session(1, 0)
-                .interval(30, 40)
-                .read(Key(1), Value(5))
-                .build(),
-        );
+        h.push(TxnBuilder::new(2).session(1, 0).interval(30, 40).read(Key(1), Value(5)).build());
         h
     }
 
@@ -493,11 +488,7 @@ mod tests {
 
     #[test]
     fn standalone_txn_roundtrip() {
-        let t = TxnBuilder::new(9)
-            .session(2, 4)
-            .interval(7, 7)
-            .read(Key(3), Value(1))
-            .build();
+        let t = TxnBuilder::new(9).session(2, 4).interval(7, 7).read(Key(3), Value(1)).build();
         let mut buf = BytesMut::new();
         put_txn(&mut buf, &t);
         let mut slice = &buf[..];

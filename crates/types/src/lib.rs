@@ -14,22 +14,24 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod check;
 pub mod codec;
 pub mod fxhash;
-pub mod rng;
 mod history;
 mod ids;
 mod op;
+pub mod rng;
 mod txn;
 mod violation;
 
+pub use check::{CheckEvent, Checker, CheckerStats, FlipSummary, Mode, Outcome};
 pub use fxhash::{FxHashMap, FxHashSet};
-pub use rng::{NormalSampler, SplitMix64};
 pub use history::{History, HistoryStats, IntegrityIssue};
 pub use ids::{EventKey, EventKind, Key, SessionId, Timestamp, TxnId, Value};
 pub use op::{
-    apply, base_independent, classify_mismatch, expected_read, DataKind, ListValue,
-    MismatchAxiom, Mutation, Op, Snapshot,
+    apply, base_independent, classify_mismatch, expected_read, DataKind, ListValue, MismatchAxiom,
+    Mutation, Op, Snapshot,
 };
+pub use rng::{NormalSampler, SplitMix64};
 pub use txn::{Transaction, TxnBuilder};
 pub use violation::{AxiomKind, CheckReport, Violation};

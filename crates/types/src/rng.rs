@@ -130,8 +130,8 @@ mod tests {
         let mut n = NormalSampler::new(100.0, 10.0);
         let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (samples.len() - 1) as f64;
+        let var =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
         assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
         assert!((var.sqrt() - 10.0).abs() < 0.5, "std {}", var.sqrt());
     }

@@ -74,10 +74,7 @@ impl Transaction {
     /// Per-key final written snapshots, computed by folding the
     /// transaction's mutations over `base_of(key)` (the visible snapshot at
     /// its start). This is the paper's `ext_val[tid]`.
-    pub fn final_writes(
-        &self,
-        mut base_of: impl FnMut(Key) -> Snapshot,
-    ) -> Vec<(Key, Snapshot)> {
+    pub fn final_writes(&self, mut base_of: impl FnMut(Key) -> Snapshot) -> Vec<(Key, Snapshot)> {
         let mut out: Vec<(Key, Snapshot)> = Vec::new();
         for op in &self.ops {
             if let Op::Write { key, mutation } = op {

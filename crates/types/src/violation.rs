@@ -232,11 +232,7 @@ impl CheckReport {
         if self.is_ok() {
             return "OK: no violations".to_string();
         }
-        let mut parts: Vec<String> = self
-            .counts
-            .iter()
-            .map(|(k, c)| format!("{k}:{c}"))
-            .collect();
+        let mut parts: Vec<String> = self.counts.iter().map(|(k, c)| format!("{k}:{c}")).collect();
         parts.sort();
         format!("FAIL: {} violations ({})", self.violations.len(), parts.join(" "))
     }

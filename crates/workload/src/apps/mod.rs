@@ -39,8 +39,7 @@ mod tests {
 
     #[test]
     fn pack_unpack_roundtrip() {
-        for (tag, a, b) in [(1u8, 0u64, 0u64), (7, 123, 456), (255, (1 << 28) - 1, (1 << 28) - 1)]
-        {
+        for (tag, a, b) in [(1u8, 0u64, 0u64), (7, 123, 456), (255, (1 << 28) - 1, (1 << 28) - 1)] {
             assert_eq!(unpack_key(pack_key(tag, a, b)), (tag, a, b));
         }
     }

@@ -55,7 +55,9 @@ pub fn rubis_templates(n_txns: usize, params: &RubisParams) -> Vec<TxnTemplate> 
             ops.push(OpTemplate::Read(pack_key(TAG_ITEM, i, 0)));
             ops.push(OpTemplate::Read(pack_key(TAG_TOP_BID, i, 0)));
             ops.push(OpTemplate::Write(pack_key(TAG_TOP_BID, i, 0)));
-            let seq = if (i as usize) < bid_seq.len() { &mut bid_seq[i as usize] } else {
+            let seq = if (i as usize) < bid_seq.len() {
+                &mut bid_seq[i as usize]
+            } else {
                 bid_seq.push(0);
                 bid_seq.last_mut().expect("just pushed")
             };
@@ -70,7 +72,9 @@ pub fn rubis_templates(n_txns: usize, params: &RubisParams) -> Vec<TxnTemplate> 
         } else if roll < 0.90 {
             // Leave a comment about a user: fresh comment row.
             let u = rng.below(users);
-            let seq = if (u as usize) < comment_seq.len() { &mut comment_seq[u as usize] } else {
+            let seq = if (u as usize) < comment_seq.len() {
+                &mut comment_seq[u as usize]
+            } else {
                 comment_seq.push(0);
                 comment_seq.last_mut().expect("just pushed")
             };

@@ -39,12 +39,7 @@ pub fn twitter_templates(n_txns: usize, params: &TwitterParams) -> Vec<TxnTempla
     let mut tweets_posted: Vec<u64> = vec![0; users as usize];
     // Bootstrap follow graph: each user follows ~10 others.
     let mut follows: Vec<Vec<u64>> = (0..users)
-        .map(|u| {
-            (0..10)
-                .map(|_| rng.below(users))
-                .filter(|&v| v != u)
-                .collect()
-        })
+        .map(|u| (0..10).map(|_| rng.below(users)).filter(|&v| v != u).collect())
         .collect();
 
     let mut out = Vec::with_capacity(n_txns);
@@ -81,7 +76,9 @@ pub fn twitter_templates(n_txns: usize, params: &TwitterParams) -> Vec<TxnTempla
             let fs = &follows[u as usize];
             let fanout = params.timeline_fanout.min(fs.len().max(1));
             for _ in 0..fanout {
-                let v = if fs.is_empty() { rng.below(users) } else {
+                let v = if fs.is_empty() {
+                    rng.below(users)
+                } else {
                     fs[rng.below(fs.len() as u64) as usize]
                 };
                 ops.push(OpTemplate::Read(pack_key(TAG_LATEST, v, 0)));

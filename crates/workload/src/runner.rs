@@ -171,13 +171,7 @@ pub fn run_interleaved_with_recorder<S: Store>(
         }
     }
 
-    RunReport {
-        history,
-        committed,
-        aborted_attempts: aborted,
-        skipped,
-        elapsed: start.elapsed(),
-    }
+    RunReport { history, committed, aborted_attempts: aborted, skipped, elapsed: start.elapsed() }
 }
 
 /// Run with one OS thread per session, recording through `recorder`
@@ -391,9 +385,9 @@ mod tests {
     fn list_histories_append() {
         let spec = small_spec().with_kind(DataKind::List).with_read_ratio(0.3);
         let h = generate_history(&spec, IsolationLevel::Si);
-        assert!(h.txns.iter().any(|t| t
-            .ops
-            .iter()
-            .any(|o| matches!(o, aion_types::Op::Write { mutation: aion_types::Mutation::Append(_), .. }))));
+        assert!(h.txns.iter().any(|t| t.ops.iter().any(|o| matches!(
+            o,
+            aion_types::Op::Write { mutation: aion_types::Mutation::Append(_), .. }
+        ))));
     }
 }

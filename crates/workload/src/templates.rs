@@ -92,11 +92,8 @@ mod tests {
             .with_read_ratio(0.9)
             .with_dist(KeyDist::Uniform);
         let ts = generate_templates(&spec);
-        let reads = ts
-            .iter()
-            .flat_map(|t| &t.ops)
-            .filter(|o| matches!(o, OpTemplate::Read(_)))
-            .count();
+        let reads =
+            ts.iter().flat_map(|t| &t.ops).filter(|o| matches!(o, OpTemplate::Read(_))).count();
         let frac = reads as f64 / 10_000.0;
         assert!((0.88..0.92).contains(&frac), "read fraction {frac}");
     }

@@ -15,7 +15,11 @@ fn check(name: &str, history: &History) {
     println!(
         "{name:<14} CHRONOS: {:<45} Elle: {}",
         chronos.summary(),
-        if elle.accepted { "ACCEPT".to_string() } else { format!("REJECT ({} anomalies)", elle.anomalies.len()) }
+        if elle.accepted {
+            "ACCEPT".to_string()
+        } else {
+            format!("REJECT ({} anomalies)", elle.anomalies.len())
+        }
     );
     if !chronos.is_ok() {
         let by_kind = [

@@ -1,14 +1,17 @@
 //! Online monitoring: stream a history into AION the way a CDC collector
 //! would — in batches, with per-transaction network delays that scramble
-//! the arrival order — and watch tentative EXT verdicts flip-flop and
-//! settle, while spill-to-disk GC keeps memory bounded.
+//! the arrival order — and watch the incremental [`CheckEvent`]s come
+//! out *while the history streams in*: tentative EXT verdicts
+//! flip-flopping and settling, transactions finalizing at their
+//! timeouts, and spill-to-disk GC keeping memory bounded.
 //!
 //! ```text
 //! cargo run --release --example online_monitoring
 //! ```
 
-use aion::online::{feed_plan, run_plan, AionConfig, FeedConfig, Mode, OnlineChecker, OnlineGcPolicy};
+use aion::online::{feed_plan, FeedConfig, Mode, OnlineChecker, OnlineGcPolicy};
 use aion::prelude::*;
+use std::time::Instant;
 
 fn main() {
     // A 20K-transaction SI history, like the paper's §VI-C stability study.
@@ -33,24 +36,56 @@ fn main() {
         out_of_order
     );
 
-    let checker = OnlineChecker::new(AionConfig {
-        kind: history.kind,
-        mode: Mode::Si,
-        ext_timeout_ms: 5_000, // the paper's conservative 5 s
-        gc: OnlineGcPolicy::Checking { max_txns: 4_000 },
-        track_flip_details: true,
-        ..AionConfig::default()
-    });
-    let run = run_plan(checker, &plan);
+    let mut checker = OnlineChecker::builder()
+        .kind(history.kind)
+        .mode(Mode::Si)
+        .ext_timeout_ms(5_000) // the paper's conservative 5 s
+        .gc(OnlineGcPolicy::Checking { max_txns: 4_000 })
+        .track_flip_details(true)
+        .build();
 
+    // Drive the session through the polymorphic `Checker` trait, printing
+    // the first few incremental events as they stream out — verdicts are
+    // visible long before finish().
+    const SHOW: usize = 8;
+    let mut shown = 0usize;
+    let mut counts = (0usize, 0usize, 0usize); // flips, finalizations, spills
+    let start = Instant::now();
+    for (at, txn) in &plan {
+        let mut events = Checker::tick(&mut checker, *at);
+        events.extend(Checker::feed(&mut checker, txn.clone(), *at));
+        for event in &events {
+            match event {
+                CheckEvent::VerdictFlip { .. } => counts.0 += 1,
+                CheckEvent::ExtFinalized { .. } => counts.1 += 1,
+                CheckEvent::SpillPass { .. } => counts.2 += 1,
+                _ => {}
+            }
+            if shown < SHOW {
+                println!("  [t={at}ms] {event}");
+                shown += 1;
+            }
+        }
+    }
+    let wall = start.elapsed();
+    println!(
+        "mid-stream events: {} verdict flips, {} finalizations, {} spill passes",
+        counts.0, counts.1, counts.2
+    );
+    assert!(
+        counts.0 + counts.1 > 0,
+        "a 40s run with 5s timeouts must surface incremental events before finish()"
+    );
+
+    let outcome = checker.finish();
     println!(
         "checked {} txns in {:.2}s wall ({:.0} TPS): {}",
-        run.processed,
-        run.wall.as_secs_f64(),
-        run.mean_tps(),
-        run.outcome.report.summary()
+        outcome.stats.received,
+        wall.as_secs_f64(),
+        outcome.stats.received as f64 / wall.as_secs_f64().max(1e-9),
+        outcome.report.summary()
     );
-    let flips = &run.outcome.flips;
+    let flips = &outcome.flips;
     println!(
         "flip-flops: {} verdict switches over {} (txn,key) pairs in {} transactions",
         flips.total_flips, flips.pairs_with_flips, flips.txns_with_flips
@@ -60,7 +95,7 @@ fn main() {
         flips.flip_histogram,
         flips.rectify_histogram()
     );
-    let stats = run.outcome.stats;
+    let stats = outcome.stats;
     println!(
         "gc: {} spill passes, {} txns spilled ({} KiB), {} reloaded, peak resident {}",
         stats.gc_spills,
@@ -69,5 +104,5 @@ fn main() {
         stats.reloaded_txns,
         stats.peak_resident_txns
     );
-    assert!(run.outcome.is_ok(), "valid history, all false alarms must have been rectified");
+    assert!(outcome.is_ok(), "valid history, all false alarms must have been rectified");
 }

@@ -74,7 +74,10 @@ fn main() {
     let mut t2 = store.begin(SessionId(1), 0);
     // Bob's read of Alice's row blocks on the lock and aborts (no-wait).
     let blocked = t2.read(alice).is_err();
-    println!("on the 2PL engine, Bob's concurrent check {}", if blocked { "aborts" } else { "proceeds" });
+    println!(
+        "on the 2PL engine, Bob's concurrent check {}",
+        if blocked { "aborts" } else { "proceeds" }
+    );
     t1.commit().unwrap();
     assert!(blocked, "strict 2PL prevents the skew");
 }

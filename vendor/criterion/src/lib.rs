@@ -1,0 +1,175 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Provides the API subset used by this workspace's `benches/`:
+//! `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size`, `throughput`, `bench_function` and `bench_with_input`,
+//! plus `BenchmarkId`, `Throughput` and `black_box`. Each benchmark runs
+//! one warm-up iteration and a small timed sample, then prints mean and
+//! minimum wall-clock time (and derived throughput when declared) — no
+//! statistics, baselines, or HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared per-iteration workload, used to derive throughput lines.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as rendered by the real crate.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` once as warm-up, then for the sample count, recording
+    /// wall-clock time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Mirror of the real crate's CLI hookup; accepts and ignores args.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 10, throughput: None }
+    }
+}
+
+/// A named set of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark (the stand-in caps the
+    /// loop at 10 to keep `cargo bench` brisk).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(1, 10);
+        self
+    }
+
+    /// Declare per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.sample_size, timings: Vec::new() };
+        f(&mut b);
+        self.report(&id.to_string(), &b.timings);
+        self
+    }
+
+    /// Benchmark a closure against one input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: self.sample_size, timings: Vec::new() };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b.timings);
+        self
+    }
+
+    /// End the group (printing happens per benchmark).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, timings: &[Duration]) {
+        if timings.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let total: Duration = timings.iter().sum();
+        let mean = total / timings.len() as u32;
+        let min = timings.iter().min().copied().unwrap_or_default();
+        let rate = |per_iter: u64, unit: &str| {
+            let secs = mean.as_secs_f64();
+            if secs > 0.0 {
+                format!("  {:.0} {unit}/s", per_iter as f64 / secs)
+            } else {
+                String::new()
+            }
+        };
+        let thrpt = match self.throughput {
+            Some(Throughput::Elements(n)) => rate(n, "elem"),
+            Some(Throughput::Bytes(n)) => rate(n, "B"),
+            None => String::new(),
+        };
+        println!(
+            "{}/{id}: mean {mean:?} min {min:?} over {} samples{thrpt}",
+            self.name,
+            timings.len(),
+        );
+    }
+}
+
+/// Bundle benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

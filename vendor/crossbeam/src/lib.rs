@@ -1,0 +1,99 @@
+//! Offline stand-in for the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! `channel::unbounded` is a thin wrapper over `std::sync::mpsc`
+//! (whose `Sender` has been `Sync` since Rust 1.72), and
+//! `queue::SegQueue` is a mutex-guarded `VecDeque` with the same
+//! `&self` push/pop surface. Semantics match; the lock-free scalability
+//! of the real crate does not, which is acceptable for the collection
+//! rates this workspace drives.
+
+pub mod channel {
+    //! Multi-producer channels with crossbeam's API shape.
+
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel.
+    #[derive(Clone, Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Sender<T> {
+        /// Send a value; fails when the receiver hung up.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or all senders hang up.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Take a value if one is ready.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Iterate over values until all senders hang up.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+
+        /// Iterate over currently-ready values without blocking.
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.0.try_iter()
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+pub mod queue {
+    //! Concurrent queues with crossbeam's `&self` surface.
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded MPMC FIFO queue (mutex-backed in this stand-in).
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// An empty queue.
+        pub fn new() -> SegQueue<T> {
+            SegQueue { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Append to the tail.
+        pub fn push(&self, value: T) {
+            self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push_back(value);
+        }
+
+        /// Take from the head.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).pop_front()
+        }
+
+        /// Current number of queued values.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
