@@ -59,11 +59,17 @@
 //! assert!(checker.finish().is_ok());
 //! ```
 //!
+//! For parallel checking, [`prelude::ShardedChecker`] runs the same
+//! session API over N key-partitioned worker threads — see
+//! `docs/architecture.md` and the `sharded_monitoring` example.
+//!
 //! See `examples/` for end-to-end tours: `quickstart`,
-//! `online_monitoring` (streaming verdicts + GC), `write_skew`,
-//! `fault_injection`, `list_histories`, and `twitter_audit`.
+//! `online_monitoring` (streaming verdicts + GC), `sharded_monitoring`
+//! (parallel checking), `write_skew`, `fault_injection`,
+//! `list_histories`, and `twitter_audit`.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(rust_2018_idioms)]
 
 pub use aion_baselines as baselines;
@@ -94,8 +100,9 @@ pub mod prelude {
     };
 
     pub use aion_online::{
-        feed_plan, run_plan, AionConfig, AionOutcome, AionStats, Arrival, FeedConfig,
-        OnlineChecker, OnlineCheckerBuilder, OnlineGcPolicy, OnlineRunReport, TimedEvent,
+        feed_plan, route_txn, run_plan, shard_of, AionConfig, AionOutcome, AionStats, Arrival,
+        FeedConfig, OnlineChecker, OnlineCheckerBuilder, OnlineGcPolicy, OnlineRunReport,
+        RoutedTxn, ShardConfig, ShardedChecker, TimedEvent,
     };
 
     pub use aion_storage::{

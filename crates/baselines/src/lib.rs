@@ -18,6 +18,7 @@
 //! stand-in), [`encode`] (polygraph encodings).
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(rust_2018_idioms)]
 
 pub mod adapter;

@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks for the sharded parallel checker:
+//! single-threaded `OnlineChecker` vs `ShardedChecker` at 1/2/4/8
+//! shards on the same out-of-order arrival plan, events off (raw
+//! checking throughput, as in the paper's §VI-B measurements).
+//!
+//! The recorded perf trajectory lives in `BENCH_aion.json`, written by
+//! `cargo run --release -p aion-bench --bin experiments -- bench-record`
+//! (see `docs/benchmarks.md`).
+
+use aion_online::{feed_plan, run_plan, FeedConfig, OnlineChecker};
+use aion_workload::{generate_history, IsolationLevel, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_sharded_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_checking");
+    group.sample_size(10);
+    let n = 10_000usize;
+    let spec =
+        WorkloadSpec::default().with_txns(n).with_sessions(24).with_ops_per_txn(8).with_keys(4_096);
+    let h = generate_history(&spec, IsolationLevel::Si);
+    let plan = feed_plan(&h, &FeedConfig::default());
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("single", |b| {
+        b.iter(|| {
+            let ck = OnlineChecker::builder().kind(h.kind).events(false).build();
+            run_plan(ck, &plan).outcome.stats.received
+        })
+    });
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let ck = OnlineChecker::builder()
+                    .kind(h.kind)
+                    .events(false)
+                    .shards(shards)
+                    .build_sharded();
+                run_plan(ck, &plan).outcome.stats.received
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_throughput);
+criterion_main!(benches);

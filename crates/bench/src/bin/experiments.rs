@@ -35,6 +35,7 @@ fn main() {
                 for id in ALL {
                     println!("  {id}");
                 }
+                println!("  bench-record  (writes BENCH_aion.json; not part of `all`)");
                 return;
             }
             "all" => ids.extend(ALL.iter().map(|s| s.to_string())),

@@ -8,6 +8,7 @@
 pub mod flipflops;
 pub mod offline;
 pub mod online;
+pub mod record;
 
 use std::path::PathBuf;
 
@@ -68,6 +69,7 @@ pub fn run(id: &str, ctx: &Ctx) -> bool {
         "fig17_18" => flipflops::fig17_18(ctx),
         "fig19" => flipflops::fig19(ctx),
         "fig20_21" => flipflops::fig20_21(ctx),
+        "bench-record" => record::bench_record(ctx),
         _ => return false,
     }
     true

@@ -28,8 +28,8 @@ use crate::spill::{SpillEntry, SpillStore};
 use crate::stats::{AionStats, FlipTracker};
 use aion_types::{
     classify_mismatch, expected_read, CheckEvent, CheckReport, Checker, DataKind, EventKey,
-    FxHashMap, FxHashSet, Key, MismatchAxiom, Mutation, Op, Outcome, SessionId, Snapshot,
-    Timestamp, Transaction, TxnId, Violation,
+    FxHashMap, FxHashSet, Key, MismatchAxiom, Mutation, Op, Outcome, SessionId, ShardConfig,
+    Snapshot, Timestamp, Transaction, TxnId, Violation,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -89,6 +89,22 @@ pub struct AionConfig {
     /// events: verdicts and the report are unaffected, but the per-event
     /// clones and allocations on the hot path are skipped.
     pub events: bool,
+    /// Shard layout used when this configuration opens a
+    /// [`crate::sharded::ShardedChecker`] session (ignored by the
+    /// single-threaded [`OnlineChecker`]).
+    pub shard: ShardConfig,
+    /// True when this checker runs as a shard worker under a
+    /// coordinator that owns the global (cross-key) checks: duplicate
+    /// tid/timestamp detection, SESSION, and Eq. (1) well-formedness are
+    /// skipped because the coordinator performs them exactly once per
+    /// whole transaction.
+    pub(crate) coordinated: bool,
+    /// `Some((shard, shards))` for a shard worker: only operations whose
+    /// key hashes to `shard` under `shards`-way partitioning are
+    /// checked. Transactions arrive whole (so violation `op_index`es
+    /// stay anchored to original program order); foreign-key operations
+    /// are skipped during footprint derivation.
+    pub(crate) shard_filter: Option<(usize, usize)>,
 }
 
 impl Default for AionConfig {
@@ -102,6 +118,9 @@ impl Default for AionConfig {
             naive_recheck: false,
             spill_path: None,
             events: true,
+            shard: ShardConfig::default(),
+            coordinated: false,
+            shard_filter: None,
         }
     }
 }
@@ -180,6 +199,19 @@ impl OnlineCheckerBuilder {
         self
     }
 
+    /// Number of shard workers used by [`build_sharded`](Self::build_sharded)
+    /// (default: [`ShardConfig::default`]'s 4).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shard.shards = shards.max(1);
+        self
+    }
+
+    /// Full shard layout used by [`build_sharded`](Self::build_sharded).
+    pub fn shard_config(mut self, shard: ShardConfig) -> Self {
+        self.cfg.shard = shard;
+        self
+    }
+
     /// Finish building the configuration.
     pub fn config(self) -> AionConfig {
         self.cfg
@@ -188,6 +220,12 @@ impl OnlineCheckerBuilder {
     /// Finish building and open the checking session.
     pub fn build(self) -> OnlineChecker {
         OnlineChecker::new(self.cfg)
+    }
+
+    /// Finish building and open a sharded (parallel) checking session
+    /// over [`AionConfig::shard`] worker threads.
+    pub fn build_sharded(self) -> crate::sharded::ShardedChecker {
+        crate::sharded::ShardedChecker::new(self.cfg)
     }
 }
 
@@ -225,6 +263,88 @@ struct OnlineTxn {
 /// statistics (§VI-C).
 pub type AionOutcome = Outcome;
 
+/// The global (cross-key) admission checks: history integrity
+/// (duplicate tids/timestamps, Eq. 1 well-formedness) and SESSION.
+///
+/// Owned in exactly one place per session — by [`OnlineChecker`] when
+/// it runs standalone, by the sharding coordinator when workers run
+/// `coordinated` — so that single and sharded checking share this code
+/// *structurally* instead of keeping two copies in sync.
+#[derive(Debug, Default)]
+pub(crate) struct GlobalChecks {
+    all_tids: FxHashSet<TxnId>,
+    ts_owner: FxHashMap<Timestamp, TxnId>,
+    next_sno: FxHashMap<SessionId, u32>,
+    last_cts: FxHashMap<SessionId, Timestamp>,
+}
+
+impl GlobalChecks {
+    /// Run every global check on one arrival, pushing violations
+    /// through `emit` in report order. Returns `false` when the
+    /// transaction is malformed (duplicate tid, or Eq. 1) and must not
+    /// touch any versioned state.
+    pub(crate) fn admit(
+        &mut self,
+        txn: &Transaction,
+        mode: Mode,
+        mut emit: impl FnMut(Violation),
+    ) -> bool {
+        // --- integrity ---------------------------------------------------
+        if !self.all_tids.insert(txn.tid) {
+            emit(Violation::DuplicateTid { tid: txn.tid });
+            return false;
+        }
+        let mut tss = vec![txn.start_ts];
+        if txn.commit_ts != txn.start_ts {
+            tss.push(txn.commit_ts);
+        }
+        for ts in tss {
+            match self.ts_owner.get(&ts) {
+                Some(&owner) if owner != txn.tid => {
+                    emit(Violation::DuplicateTimestamp { ts, t1: owner, t2: txn.tid });
+                }
+                _ => {
+                    self.ts_owner.insert(ts, txn.tid);
+                }
+            }
+        }
+
+        // --- SESSION -----------------------------------------------------
+        let expected = self.next_sno.get(&txn.sid).copied().unwrap_or(0);
+        let last_cts = self.last_cts.get(&txn.sid).copied().unwrap_or(Timestamp::MIN);
+        let violated = match mode {
+            // SI: must follow its predecessor and start after it committed.
+            Mode::Si => txn.sno != expected || txn.start_ts < last_cts,
+            // SER: start timestamps are ignored; session order must embed
+            // into commit order.
+            Mode::Ser => txn.sno != expected || txn.commit_ts <= last_cts,
+        };
+        if violated {
+            emit(Violation::Session {
+                tid: txn.tid,
+                sid: txn.sid,
+                expected_sno: expected,
+                found_sno: txn.sno,
+                start_ts: txn.start_ts,
+                last_commit_ts: last_cts,
+            });
+        }
+        self.next_sno.insert(txn.sid, txn.sno + 1);
+        self.last_cts.insert(txn.sid, txn.commit_ts);
+
+        // --- Eq. (1) -----------------------------------------------------
+        if txn.start_ts > txn.commit_ts {
+            emit(Violation::TimestampOrder {
+                tid: txn.tid,
+                start_ts: txn.start_ts,
+                commit_ts: txn.commit_ts,
+            });
+            return false; // malformed: do not poison the versioned state
+        }
+        true
+    }
+}
+
 /// The online checker. Drive it with [`receive`](Self::receive) and
 /// [`tick`](Self::tick), then [`finish`](Self::finish) — or through the
 /// polymorphic [`Checker`] trait, whose `feed`/`tick` delegate here.
@@ -234,10 +354,7 @@ pub type AionOutcome = Outcome;
 pub struct OnlineChecker {
     cfg: AionConfig,
     txns: FxHashMap<TxnId, OnlineTxn>,
-    all_tids: FxHashSet<TxnId>,
-    ts_owner: FxHashMap<Timestamp, TxnId>,
-    next_sno: FxHashMap<SessionId, u32>,
-    last_cts: FxHashMap<SessionId, Timestamp>,
+    globals: GlobalChecks,
     frontier: VersionedMap<Snapshot>,
     readers: KeyEventIndex<ReadRef>,
     writers: KeyEventIndex<TxnId>,
@@ -268,10 +385,7 @@ impl OnlineChecker {
         OnlineChecker {
             cfg,
             txns: FxHashMap::default(),
-            all_tids: FxHashSet::default(),
-            ts_owner: FxHashMap::default(),
-            next_sno: FxHashMap::default(),
-            last_cts: FxHashMap::default(),
+            globals: GlobalChecks::default(),
             frontier: VersionedMap::new(),
             readers: KeyEventIndex::new(),
             writers: KeyEventIndex::new(),
@@ -365,6 +479,13 @@ impl OnlineChecker {
         self.txns.len()
     }
 
+    /// True when `tid` is resident with tentative (not yet finalized)
+    /// EXT verdicts — used by shard workers to tell the coordinator
+    /// whether an `ExtFinalized` event will eventually follow.
+    pub(crate) fn is_pending(&self, tid: TxnId) -> bool {
+        self.txns.get(&tid).is_some_and(|t| !t.finalized)
+    }
+
     /// Rough estimate of live checker memory, for the constrained-memory
     /// experiment (Fig. 16).
     pub fn estimated_memory_bytes(&self) -> usize {
@@ -416,37 +537,20 @@ impl OnlineChecker {
         self.now_ms = self.now_ms.max(now_ms);
         self.stats.received += 1;
 
-        // --- integrity -----------------------------------------------------
-        if !self.all_tids.insert(txn.tid) {
-            self.emit(Violation::DuplicateTid { tid: txn.tid });
-            return self.take_events();
-        }
-        let mut tss = vec![txn.start_ts];
-        if txn.commit_ts != txn.start_ts {
-            tss.push(txn.commit_ts);
-        }
-        for ts in tss {
-            match self.ts_owner.get(&ts) {
-                Some(&owner) if owner != txn.tid => {
-                    self.emit(Violation::DuplicateTimestamp { ts, t1: owner, t2: txn.tid });
-                }
-                _ => {
-                    self.ts_owner.insert(ts, txn.tid);
-                }
+        // Under a sharding coordinator the global (cross-key) checks have
+        // already run exactly once for the whole transaction (through the
+        // same `GlobalChecks` code); this worker only sees well-formed,
+        // deduplicated sub-footprints.
+        if !self.cfg.coordinated {
+            let mut violations = Vec::new();
+            let admitted =
+                self.globals.admit(&txn, self.cfg.mode, |violation| violations.push(violation));
+            for violation in violations {
+                self.emit(violation);
             }
-        }
-
-        // --- SESSION --------------------------------------------------------
-        self.check_session(&txn);
-
-        // --- Eq. (1) ---------------------------------------------------------
-        if txn.start_ts > txn.commit_ts {
-            self.emit(Violation::TimestampOrder {
-                tid: txn.tid,
-                start_ts: txn.start_ts,
-                commit_ts: txn.commit_ts,
-            });
-            return self.take_events(); // malformed: do not poison the versioned state
+            if !admitted {
+                return self.take_events();
+            }
         }
 
         // --- reload spilled state if this arrival reaches below the GC
@@ -467,30 +571,6 @@ impl OnlineChecker {
         self.take_events()
     }
 
-    fn check_session(&mut self, txn: &Transaction) {
-        let expected = self.next_sno.get(&txn.sid).copied().unwrap_or(0);
-        let last_cts = self.last_cts.get(&txn.sid).copied().unwrap_or(Timestamp::MIN);
-        let violated = match self.cfg.mode {
-            // SI: must follow its predecessor and start after it committed.
-            Mode::Si => txn.sno != expected || txn.start_ts < last_cts,
-            // SER: start timestamps are ignored; session order must embed
-            // into commit order.
-            Mode::Ser => txn.sno != expected || txn.commit_ts <= last_cts,
-        };
-        if violated {
-            self.emit(Violation::Session {
-                tid: txn.tid,
-                sid: txn.sid,
-                expected_sno: expected,
-                found_sno: txn.sno,
-                start_ts: txn.start_ts,
-                last_commit_ts: last_cts,
-            });
-        }
-        self.next_sno.insert(txn.sid, txn.sno + 1);
-        self.last_cts.insert(txn.sid, txn.commit_ts);
-    }
-
     /// Steps ①–③ for a well-formed arrival.
     fn process(&mut self, txn: Transaction) {
         let tid = txn.tid;
@@ -508,6 +588,14 @@ impl OnlineChecker {
         let mut anchored: FxHashMap<Key, Snapshot> = FxHashMap::default();
         let mut reads: Vec<ReadState> = Vec::new();
         for (op_index, op) in txn.ops.iter().enumerate() {
+            if let Some((mine, shards)) = self.cfg.shard_filter {
+                // Foreign keys belong to another shard worker; skipping
+                // them here (rather than re-numbering a filtered ops
+                // vector) keeps `op_index` anchored to program order.
+                if crate::feed::shard_of(op.key(), shards) != mine {
+                    continue;
+                }
+            }
             match op {
                 Op::Read { key, value } => {
                     let muts_before = muts_so_far.get(key).cloned().unwrap_or_default();

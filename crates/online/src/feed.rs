@@ -8,7 +8,7 @@
 //! through the plan, measuring wall-clock throughput per second (Fig. 12).
 
 use aion_types::{
-    CheckEvent, Checker, FxHashMap, History, NormalSampler, Outcome, SessionId, SplitMix64,
+    CheckEvent, Checker, FxHashMap, History, Key, NormalSampler, Outcome, SessionId, SplitMix64,
     Transaction,
 };
 use std::collections::BTreeMap;
@@ -97,6 +97,74 @@ fn enforce_session_order(arrivals: Vec<Arrival>) -> Vec<Arrival> {
         }
     }
     out
+}
+
+// ------------------------------------------------------------------ routing
+
+/// Shard that owns `key` under `shards`-way partitioning.
+///
+/// Uses a Fibonacci multiply-and-fold so that both sequential workload
+/// keys and packed composite keys (e.g. TPC-C) spread evenly. Every
+/// per-key axiom (INT, EXT, NOCONFLICT) only relates operations on the
+/// same key, so key partitioning is a sound unit of parallelism; see
+/// `docs/architecture.md`.
+#[inline]
+pub fn shard_of(key: Key, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mixed = key.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+    (mixed % shards as u64) as usize
+}
+
+/// A transaction routed across `shards` key partitions by
+/// [`route_txn`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum RoutedTxn {
+    /// Every operation lands on one shard: forward the transaction
+    /// unchanged (no clone on this fast path).
+    Single {
+        /// Owning shard.
+        shard: usize,
+        /// The unmodified transaction.
+        txn: Transaction,
+    },
+    /// Operations span shards: each touched shard receives the whole
+    /// transaction and checks only the operations it owns (its
+    /// *sub-footprint*). Shipping the full operation list keeps
+    /// violation `op_index`es anchored to the original program order,
+    /// so sharded reports are byte-identical to single-checker ones.
+    Split {
+        /// Touched shards, ascending.
+        shards: Vec<usize>,
+        /// The unmodified transaction (cloned once per extra shard).
+        txn: Transaction,
+    },
+}
+
+/// Partition `txn` by the key owners of its operations.
+///
+/// Per-key program order is all the checker's INT/EXT derivation
+/// depends on (`muts_before`, anchored first reads, and published write
+/// sets are computed per key), and each key's operations are checked by
+/// exactly one shard. A transaction with no operations routes to the
+/// shard owning `Key(tid)`, so empty transactions still count exactly
+/// once.
+pub fn route_txn(txn: Transaction, shards: usize) -> RoutedTxn {
+    if shards <= 1 {
+        return RoutedTxn::Single { shard: 0, txn };
+    }
+    let Some(first_op) = txn.ops.first() else {
+        return RoutedTxn::Single { shard: shard_of(Key(txn.tid.0), shards), txn };
+    };
+    let first = shard_of(first_op.key(), shards);
+    if txn.ops.iter().all(|op| shard_of(op.key(), shards) == first) {
+        return RoutedTxn::Single { shard: first, txn };
+    }
+    let mut touched: Vec<usize> = txn.ops.iter().map(|op| shard_of(op.key(), shards)).collect();
+    touched.sort_unstable();
+    touched.dedup();
+    RoutedTxn::Split { shards: touched, txn }
 }
 
 /// One event with the virtual arrival time at which it surfaced.

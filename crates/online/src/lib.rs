@@ -21,20 +21,26 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(rust_2018_idioms)]
 
 pub mod checker;
 pub mod feed;
 pub mod index;
+pub mod sharded;
 pub mod spill;
 pub mod stats;
 pub mod versioned;
 
-pub use aion_types::check::{CheckEvent, Checker, Outcome};
+pub use aion_types::check::{CheckEvent, Checker, Outcome, ShardConfig};
 pub use checker::{
     AionConfig, AionOutcome, Mode, OnlineChecker, OnlineCheckerBuilder, OnlineGcPolicy,
 };
-pub use feed::{feed_plan, run_plan, Arrival, FeedConfig, OnlineRunReport, TimedEvent};
+pub use feed::{
+    feed_plan, route_txn, run_plan, shard_of, Arrival, FeedConfig, OnlineRunReport, RoutedTxn,
+    TimedEvent,
+};
+pub use sharded::ShardedChecker;
 pub use spill::{SpillEntry, SpillStore};
 pub use stats::{AionStats, FlipSummary};
 pub use versioned::VersionedMap;

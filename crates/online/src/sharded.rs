@@ -1,0 +1,680 @@
+//! Sharded parallel online checking: N shard workers, one coordinator.
+//!
+//! [`ShardedChecker`] scales [`OnlineChecker`] beyond one core by
+//! partitioning the key space across `N` worker threads (one
+//! single-threaded `OnlineChecker` each, fed over crossbeam channels)
+//! while a coordinator owns everything that is *not* per-key:
+//!
+//! * **Routing** — each arrival is routed by [`crate::feed::shard_of`];
+//!   a transaction touching several shards is split by
+//!   [`crate::feed::route_txn`] into per-shard *sub-footprints* (same
+//!   tid/sid/sno/timestamps, only the owned keys' operations).
+//! * **Global checks** — duplicate tid/timestamp detection, SESSION,
+//!   and Eq. (1) well-formedness need the whole transaction and the
+//!   whole session stream, so the coordinator performs them exactly
+//!   once, byte-for-byte like `OnlineChecker::receive`; workers run in
+//!   *coordinated* mode and skip them.
+//! * **Verdict-state ownership** — per-key state (frontier versions,
+//!   readers/writers indexes, NOCONFLICT intervals, tentative EXT
+//!   verdicts) lives entirely inside the owning shard. This is sound
+//!   because every INT/EXT/NOCONFLICT axiom instance relates operations
+//!   on a single key; see `docs/isolation-models.md`.
+//! * **Event sequencing** — worker [`CheckEvent`]s are pumped onto one
+//!   outbound stream (per-shard order preserved, shards interleaved by
+//!   reply arrival). `ExtFinalized` events of a split transaction are
+//!   *merged*: the coordinator counts the read-bearing sub-footprints
+//!   at route time, holds per-shard finalizations until the last one
+//!   lands, and emits a single event with the summed violation count —
+//!   exactly one `ExtFinalized` per pending transaction, as in the
+//!   single checker.
+//! * **Outcome merging** — `finish` joins the workers and folds their
+//!   reports, [`CheckerStats`] and [`FlipSummary`]s (in shard order,
+//!   deterministically) into one uniform [`Outcome`], fixing up
+//!   `received`/`finalized` to whole-transaction counts.
+//!
+//! Workers catch their virtual clock up before processing each arrival,
+//! so EXT finalization *verdicts* are identical to the single checker's
+//! regardless of when `tick`s are forwarded; the coordinator therefore
+//! rate-limits clock broadcasts to
+//! [`aion_types::ShardConfig::tick_broadcast_ms`] and only pays the fan-out when
+//! the clock meaningfully advances. `tick(u64::MAX)` (the end-of-stream
+//! drain used by [`crate::feed::run_plan`]) is a synchronous barrier:
+//! it flushes every worker so end-of-stream finalizations surface as
+//! events before `finish`.
+//!
+//! ```
+//! use aion_online::{Mode, OnlineChecker};
+//! use aion_types::{Checker, DataKind, Key, TxnBuilder, Value};
+//!
+//! let mut checker = OnlineChecker::builder().mode(Mode::Si).shards(4).build_sharded();
+//! checker.feed(
+//!     TxnBuilder::new(1).session(0, 0).interval(1, 2).put(Key(1), Value(7)).build(), 0);
+//! checker.feed(
+//!     TxnBuilder::new(2).session(1, 0).interval(3, 4).read(Key(1), Value(7)).build(), 1);
+//! let outcome = checker.finish();
+//! assert!(outcome.is_ok());
+//! assert_eq!(outcome.txns, 2);
+//! ```
+
+use crate::checker::{AionConfig, GlobalChecks, Mode, OnlineChecker, OnlineGcPolicy};
+use crate::feed::{route_txn, RoutedTxn};
+use aion_types::{
+    CheckEvent, CheckReport, Checker, CheckerStats, FlipSummary, FxHashMap, Outcome, Transaction,
+    TxnId, Violation,
+};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Commands the coordinator sends to a shard worker.
+enum ShardCmd {
+    /// Process one (sub-)transaction at virtual time `now_ms` (the
+    /// worker ticks its clock up to `now_ms` first). Shared via `Arc`
+    /// so a split transaction is *not* deep-cloned on the coordinator's
+    /// critical path — the last worker to unwrap it takes ownership,
+    /// the others clone in parallel on their own threads.
+    Feed { txn: Arc<Transaction>, now_ms: u64 },
+    /// Advance the worker's virtual clock, firing EXT timeouts.
+    Tick { now_ms: u64 },
+    /// Acknowledge once every prior command has been processed.
+    Flush,
+    /// Finish the worker's checker and reply with its outcome.
+    Finish,
+}
+
+/// Replies flowing back from workers (per-worker FIFO order).
+enum ShardReply {
+    /// Events produced by a `Feed`, plus whether the fed part still
+    /// holds tentative EXT verdicts on this shard (an `ExtFinalized`
+    /// follows from this worker eventually iff `pending`). Only sent
+    /// when events are on.
+    Fed { tid: TxnId, pending: bool, events: Vec<CheckEvent> },
+    /// Events produced by a `Tick`. Only sent when events are on.
+    Ticked { events: Vec<CheckEvent> },
+    /// Barrier acknowledgement for `Flush`.
+    Flushed,
+    /// Terminal outcome for `Finish` (boxed: it dwarfs the streaming
+    /// variants and is sent once per worker).
+    Done { shard: usize, outcome: Box<Outcome> },
+}
+
+/// Merge state for one read-bearing transaction, driven entirely by
+/// worker replies: the coordinator only knows how many `Fed` replies
+/// to expect (one per routed part — pure routing knowledge); which
+/// parts hold tentative reads is reported by the workers themselves,
+/// so there is no cross-thread read-ownership predicate to keep in
+/// agreement.
+struct PendingFinalize {
+    /// Routed parts whose `Fed` reply has not arrived yet.
+    awaiting_fed: u32,
+    /// Parts that replied `pending` and have not finalized yet.
+    pending_reads: u32,
+    /// Shards that reported an actual finalization (vs. settling at
+    /// arrival, which produces no event).
+    finalized_shards: u32,
+    /// EXT violations summed across the shards' finalizations.
+    violations: u32,
+}
+
+/// The sharded parallel online checker (see the module docs).
+///
+/// Implements the same streaming [`Checker`] session trait as
+/// [`OnlineChecker`], so `run_plan`, the `aion` facade and every
+/// example drive it unchanged. Final verdicts and violation sets are
+/// identical to the single checker's for any shard count (property
+/// tested in `tests/sharded_equivalence.rs`); event *timing* may lag
+/// arrivals, since workers run asynchronously.
+pub struct ShardedChecker {
+    cfg: AionConfig,
+    shards: usize,
+    cmd_tx: Vec<Sender<ShardCmd>>,
+    reply_rx: Receiver<ShardReply>,
+    workers: Vec<JoinHandle<()>>,
+    /// Coordinator-owned global checks — the same `GlobalChecks` code
+    /// the single checker runs, executed once per whole transaction.
+    globals: GlobalChecks,
+    report: CheckReport,
+    pending: FxHashMap<TxnId, PendingFinalize>,
+    received: usize,
+    /// Malformed arrivals (duplicate tid, Eq. (1)) never forwarded.
+    dropped: usize,
+    now_ms: u64,
+    last_tick_broadcast: u64,
+    /// Outbound events staged since the last `feed`/`tick` returned.
+    events: Vec<CheckEvent>,
+}
+
+impl ShardedChecker {
+    /// Open a sharded session over `cfg.shard.shards` workers, each
+    /// running an [`OnlineChecker`] with this configuration scoped to
+    /// its key partition. Per-shard GC budgets divide
+    /// [`OnlineGcPolicy`]'s `max_txns` evenly; a configured spill path
+    /// gets a `.shardK` suffix per worker.
+    pub fn new(cfg: AionConfig) -> ShardedChecker {
+        let shards = cfg.shard.shards.max(1);
+        let (reply_tx, reply_rx) = unbounded::<ShardReply>();
+        let mut cmd_tx = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = unbounded::<ShardCmd>();
+            cmd_tx.push(tx);
+            let mut worker_cfg = cfg.clone();
+            worker_cfg.coordinated = true;
+            worker_cfg.shard_filter = if shards > 1 { Some((shard, shards)) } else { None };
+            worker_cfg.gc = match worker_cfg.gc {
+                OnlineGcPolicy::None => OnlineGcPolicy::None,
+                OnlineGcPolicy::Checking { max_txns } => {
+                    OnlineGcPolicy::Checking { max_txns: (max_txns / shards).max(1) }
+                }
+                OnlineGcPolicy::Full { max_txns } => {
+                    OnlineGcPolicy::Full { max_txns: (max_txns / shards).max(1) }
+                }
+            };
+            if let Some(path) = worker_cfg.spill_path.take() {
+                let mut p = path.into_os_string();
+                p.push(format!(".shard{shard}"));
+                worker_cfg.spill_path = Some(p.into());
+            }
+            let events_on = worker_cfg.events;
+            let checker = OnlineChecker::new(worker_cfg);
+            let reply_tx = reply_tx.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("aion-shard-{shard}"))
+                    .spawn(move || worker_loop(shard, checker, rx, reply_tx, events_on))
+                    .expect("spawn shard worker"),
+            );
+        }
+        ShardedChecker {
+            cfg,
+            shards,
+            cmd_tx,
+            reply_rx,
+            workers,
+            globals: GlobalChecks::default(),
+            report: CheckReport::new(),
+            pending: FxHashMap::default(),
+            received: 0,
+            dropped: 0,
+            now_ms: 0,
+            last_tick_broadcast: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// A sharded session with `shards` workers over an otherwise
+    /// default configuration.
+    pub fn with_shards(shards: usize) -> ShardedChecker {
+        let mut cfg = AionConfig::default();
+        cfg.shard.shards = shards.max(1);
+        ShardedChecker::new(cfg)
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &AionConfig {
+        &self.cfg
+    }
+
+    /// Number of shard workers.
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Stable checker name, e.g. `"aion-si-sharded"`.
+    pub fn checker_name(&self) -> &'static str {
+        match self.cfg.mode {
+            Mode::Si => "aion-si-sharded",
+            Mode::Ser => "aion-ser-sharded",
+        }
+    }
+
+    /// Coordinator-side violations (integrity + SESSION) reported so
+    /// far. Worker-side violations live in the workers until `finish`.
+    pub fn coordinator_report(&self) -> &CheckReport {
+        &self.report
+    }
+
+    fn emit(&mut self, v: Violation) {
+        if self.cfg.events {
+            self.events.push(CheckEvent::Violation(v.clone()));
+        }
+        self.report.push(v);
+    }
+
+    /// Receive one transaction at (virtual) time `now_ms`: run the
+    /// global checks, route the footprint to its shard(s), and return
+    /// every event that has surfaced so far (coordinator violations
+    /// synchronously; worker events as their replies arrive).
+    pub fn receive(&mut self, txn: Transaction, now_ms: u64) -> Vec<CheckEvent> {
+        self.now_ms = self.now_ms.max(now_ms);
+        self.received += 1;
+
+        // --- global checks: the single checker's `GlobalChecks`, run
+        //     once per whole transaction -----------------------------------
+        let mut violations = Vec::new();
+        let admitted =
+            self.globals.admit(&txn, self.cfg.mode, |violation| violations.push(violation));
+        for violation in violations {
+            self.emit(violation);
+        }
+        if !admitted {
+            self.dropped += 1;
+            self.pump();
+            return std::mem::take(&mut self.events);
+        }
+
+        // --- route ------------------------------------------------------
+        let tid = txn.tid;
+        let now = self.now_ms;
+        match route_txn(txn, self.shards) {
+            RoutedTxn::Single { shard, txn } => {
+                self.track_pending(tid, &txn, 1);
+                self.send(shard, ShardCmd::Feed { txn: Arc::new(txn), now_ms: now });
+            }
+            RoutedTxn::Split { shards, txn } => {
+                self.track_pending(tid, &txn, shards.len() as u32);
+                let txn = Arc::new(txn);
+                for &shard in &shards {
+                    self.send(shard, ShardCmd::Feed { txn: Arc::clone(&txn), now_ms: now });
+                }
+            }
+        }
+        self.pump();
+        std::mem::take(&mut self.events)
+    }
+
+    /// Register the number of routed parts whose `Fed` replies will
+    /// drive the `ExtFinalized` merge. Transactions with no reads at
+    /// all are skipped — no shard can ever report tentative verdicts
+    /// for them.
+    fn track_pending(&mut self, tid: TxnId, txn: &Transaction, parts: u32) {
+        if self.cfg.events && txn.ops.iter().any(aion_types::Op::is_read) {
+            self.pending.insert(
+                tid,
+                PendingFinalize {
+                    awaiting_fed: parts,
+                    pending_reads: 0,
+                    finalized_shards: 0,
+                    violations: 0,
+                },
+            );
+        }
+    }
+
+    fn send(&self, shard: usize, cmd: ShardCmd) {
+        // A worker can only be gone if it panicked; surface that at
+        // finish/join instead of here.
+        let _ = self.cmd_tx[shard].send(cmd);
+    }
+
+    /// Advance the virtual clock. Broadcasts to workers at most every
+    /// [`aion_types::ShardConfig::tick_broadcast_ms`] virtual ms —
+    /// workers self-tick before each arrival, so this only affects how
+    /// promptly idle shards surface finalization *events*, never
+    /// verdicts. `u64::MAX` drains synchronously (see module docs).
+    pub fn tick(&mut self, now_ms: u64) -> Vec<CheckEvent> {
+        self.now_ms = self.now_ms.max(now_ms);
+        if now_ms == u64::MAX {
+            self.broadcast_tick(u64::MAX);
+            self.barrier();
+        } else if now_ms.saturating_sub(self.last_tick_broadcast)
+            >= self.cfg.shard.tick_broadcast_ms
+        {
+            self.broadcast_tick(now_ms);
+        }
+        self.pump();
+        std::mem::take(&mut self.events)
+    }
+
+    fn broadcast_tick(&mut self, now_ms: u64) {
+        self.last_tick_broadcast = now_ms;
+        for shard in 0..self.shards {
+            self.send(shard, ShardCmd::Tick { now_ms });
+        }
+    }
+
+    /// Block until every worker has processed all commands sent so far,
+    /// absorbing their replies.
+    fn barrier(&mut self) {
+        for shard in 0..self.shards {
+            self.send(shard, ShardCmd::Flush);
+        }
+        let mut flushed = 0usize;
+        while flushed < self.shards {
+            match self.reply_rx.recv() {
+                Ok(ShardReply::Flushed) => flushed += 1,
+                Ok(reply) => self.absorb(reply, &mut Vec::new()),
+                Err(_) => break, // a worker died; finish() will report via join
+            }
+        }
+    }
+
+    /// Drain currently-ready worker replies without blocking.
+    fn pump(&mut self) {
+        while let Ok(reply) = self.reply_rx.try_recv() {
+            self.absorb(reply, &mut Vec::new());
+        }
+    }
+
+    /// Fold one worker reply into coordinator state; `Done` outcomes are
+    /// pushed onto `outcomes`.
+    fn absorb(&mut self, reply: ShardReply, outcomes: &mut Vec<(usize, Outcome)>) {
+        match reply {
+            ShardReply::Fed { tid, pending, events } => {
+                self.note_fed(tid, pending);
+                self.ingest(events);
+            }
+            ShardReply::Ticked { events } => self.ingest(events),
+            ShardReply::Flushed => {}
+            ShardReply::Done { shard, outcome } => outcomes.push((shard, *outcome)),
+        }
+    }
+
+    /// Sequence worker events onto the outbound stream, merging
+    /// split-transaction `ExtFinalized`s into single events.
+    fn ingest(&mut self, events: Vec<CheckEvent>) {
+        for event in events {
+            match event {
+                CheckEvent::ExtFinalized { tid, violations } => {
+                    self.note_finalized(tid, violations)
+                }
+                other => self.events.push(other),
+            }
+        }
+    }
+
+    /// One routed part was processed by its worker; `pending` says
+    /// whether that part still holds tentative reads (so an
+    /// `ExtFinalized` from that shard will follow eventually).
+    fn note_fed(&mut self, tid: TxnId, pending: bool) {
+        let Some(p) = self.pending.get_mut(&tid) else { return };
+        p.awaiting_fed -= 1;
+        if pending {
+            p.pending_reads += 1;
+        }
+        self.maybe_emit_finalized(tid);
+    }
+
+    /// One shard finalized its part of `tid`. Per-worker FIFO
+    /// guarantees the shard's own `Fed` reply arrived first, so
+    /// `pending_reads` is positive here.
+    fn note_finalized(&mut self, tid: TxnId, violations: u32) {
+        let Some(p) = self.pending.get_mut(&tid) else {
+            // Unknown tid (e.g. events toggled mid-session): pass through.
+            self.events.push(CheckEvent::ExtFinalized { tid, violations });
+            return;
+        };
+        p.pending_reads -= 1;
+        p.finalized_shards += 1;
+        p.violations += violations;
+        self.maybe_emit_finalized(tid);
+    }
+
+    fn maybe_emit_finalized(&mut self, tid: TxnId) {
+        let Some(p) = self.pending.get(&tid) else { return };
+        if p.awaiting_fed > 0 || p.pending_reads > 0 {
+            return;
+        }
+        // Every part is processed and none still holds tentative reads.
+        // Emit one merged event iff some shard actually held tentative
+        // verdicts past arrival — mirroring the single checker, which
+        // only announces transactions that went through its deadline
+        // queue.
+        let (finalized_shards, violations) = (p.finalized_shards, p.violations);
+        self.pending.remove(&tid);
+        if finalized_shards > 0 {
+            self.events.push(CheckEvent::ExtFinalized { tid, violations });
+        }
+    }
+
+    /// Finish the session: join the workers and merge their outcomes —
+    /// coordinator report first, then each shard's in shard order (so
+    /// the merged report is deterministic), with stats and flip
+    /// summaries folded shard-aware and `received`/`finalized` fixed up
+    /// to whole-transaction counts.
+    pub fn finish(mut self) -> Outcome {
+        for shard in 0..self.shards {
+            self.send(shard, ShardCmd::Finish);
+        }
+        let mut outcomes: Vec<(usize, Outcome)> = Vec::with_capacity(self.shards);
+        while outcomes.len() < self.shards {
+            match self.reply_rx.recv() {
+                Ok(reply) => {
+                    let mut done = Vec::new();
+                    self.absorb(reply, &mut done);
+                    outcomes.append(&mut done);
+                }
+                Err(_) => break, // worker died; join below panics with its message
+            }
+        }
+        for handle in self.workers.drain(..) {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        outcomes.sort_unstable_by_key(|(shard, _)| *shard);
+
+        let mut report = std::mem::take(&mut self.report);
+        let mut stats = CheckerStats::default();
+        let mut flips = FlipSummary::default();
+        for (_, outcome) in outcomes {
+            report.merge(outcome.report);
+            stats.absorb_shard(&outcome.stats);
+            flips.absorb_shard(&outcome.flips);
+        }
+        // Whole-transaction counts: a split transaction was received by
+        // several workers but is one transaction; malformed arrivals
+        // were never forwarded and never finalize.
+        stats.received = self.received;
+        stats.finalized = self.received - self.dropped;
+
+        Outcome::new(self.checker_name(), report, self.received).with_stats(stats).with_flips(flips)
+    }
+}
+
+impl Checker for ShardedChecker {
+    fn name(&self) -> &'static str {
+        self.checker_name()
+    }
+
+    fn feed(&mut self, txn: Transaction, now_ms: u64) -> Vec<CheckEvent> {
+        self.receive(txn, now_ms)
+    }
+
+    fn tick(&mut self, now_ms: u64) -> Vec<CheckEvent> {
+        ShardedChecker::tick(self, now_ms)
+    }
+
+    fn finish(self) -> Outcome {
+        ShardedChecker::finish(self)
+    }
+}
+
+/// A shard worker: drains commands in order, catching its clock up
+/// before each arrival so finalization verdicts match the single
+/// checker's, and replies with events (when on) plus the pending flag
+/// the coordinator's `ExtFinalized` merge needs.
+fn worker_loop(
+    shard: usize,
+    checker: OnlineChecker,
+    rx: Receiver<ShardCmd>,
+    tx: Sender<ShardReply>,
+    events_on: bool,
+) {
+    let mut checker = Some(checker);
+    while let Ok(cmd) = rx.recv() {
+        let ck = checker.as_mut().expect("worker alive");
+        match cmd {
+            ShardCmd::Feed { txn, now_ms } => {
+                let tid = txn.tid;
+                // Last holder takes ownership; other shards of a split
+                // transaction deep-clone here, off the coordinator's
+                // critical path.
+                let txn = Arc::try_unwrap(txn).unwrap_or_else(|shared| (*shared).clone());
+                let mut events = ck.tick(now_ms);
+                events.extend(ck.receive(txn, now_ms));
+                if events_on {
+                    // Whether this shard still holds tentative reads for
+                    // the transaction — the single source of truth the
+                    // coordinator's ExtFinalized merge is driven by.
+                    let pending = ck.is_pending(tid);
+                    let _ = tx.send(ShardReply::Fed { tid, pending, events });
+                }
+            }
+            ShardCmd::Tick { now_ms } => {
+                let events = ck.tick(now_ms);
+                if events_on {
+                    let _ = tx.send(ShardReply::Ticked { events });
+                }
+            }
+            ShardCmd::Flush => {
+                let _ = tx.send(ShardReply::Flushed);
+            }
+            ShardCmd::Finish => {
+                let outcome = Box::new(checker.take().expect("worker alive").finish());
+                let _ = tx.send(ShardReply::Done { shard, outcome });
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aion_types::{AxiomKind, DataKind, Key, TxnBuilder, Value};
+
+    fn t(tid: u64, sid: u32, sno: u32, s: u64, c: u64) -> TxnBuilder {
+        TxnBuilder::new(tid).session(sid, sno).interval(s, c)
+    }
+
+    fn sharded(n: usize) -> ShardedChecker {
+        OnlineChecker::builder().shards(n).build_sharded()
+    }
+
+    #[test]
+    fn valid_history_passes_across_shards() {
+        let mut a = sharded(4);
+        a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(5)).put(Key(2), Value(6)).build(), 0);
+        a.receive(t(2, 1, 0, 3, 4).read(Key(1), Value(5)).read(Key(2), Value(6)).build(), 1);
+        let out = a.finish();
+        assert!(out.is_ok(), "{}", out.report);
+        assert_eq!(out.txns, 2);
+        assert_eq!(out.stats.received, 2);
+        assert_eq!(out.stats.finalized, 2);
+        assert_eq!(out.checker, "aion-si-sharded");
+    }
+
+    #[test]
+    fn global_checks_report_once() {
+        let mut a = sharded(4);
+        a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(1)).put(Key(2), Value(2)).build(), 0);
+        // Duplicate tid, session gap, and Eq. (1) violations are
+        // coordinator-owned: exactly one report each, like the single
+        // checker.
+        a.receive(t(1, 1, 0, 3, 4).put(Key(3), Value(3)).build(), 0);
+        a.receive(t(3, 0, 5, 9, 8).put(Key(4), Value(4)).build(), 0);
+        let out = a.finish();
+        assert_eq!(out.report.count(AxiomKind::Integrity), 2, "{}", out.report);
+        assert_eq!(out.report.count(AxiomKind::Session), 1, "{}", out.report);
+        assert_eq!(out.stats.received, 3);
+        assert_eq!(out.stats.finalized, 1, "both malformed arrivals dropped");
+    }
+
+    #[test]
+    fn cross_shard_ext_finalizations_merge_into_one_event() {
+        // A transaction reading unjustifiable values on many keys: its
+        // sub-footprints finalize on several shards, but exactly one
+        // ExtFinalized must surface, with the summed violation count.
+        let mut a = sharded(4);
+        let mut txn = TxnBuilder::new(1).session(0, 0).interval(10, 11);
+        for k in 0..8u64 {
+            txn = txn.read(Key(k), Value(99));
+        }
+        a.receive(txn.build(), 0);
+        let mut events = a.tick(u64::MAX);
+        let finalized: Vec<_> =
+            events.drain(..).filter(|e| matches!(e, CheckEvent::ExtFinalized { .. })).collect();
+        assert_eq!(
+            finalized,
+            vec![CheckEvent::ExtFinalized { tid: TxnId(1), violations: 8 }],
+            "one merged finalization with the summed violations"
+        );
+        let out = a.finish();
+        assert_eq!(out.report.count(AxiomKind::Ext), 8, "{}", out.report);
+    }
+
+    #[test]
+    fn settled_cross_shard_reads_produce_no_finalization_event() {
+        // Reads justified at arrival stay pending until the timeout, so
+        // the merged event appears on drain with zero violations.
+        let mut a = sharded(2);
+        a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(5)).put(Key(2), Value(6)).build(), 0);
+        a.receive(t(2, 1, 0, 3, 4).read(Key(1), Value(5)).read(Key(2), Value(6)).build(), 0);
+        let events = a.tick(u64::MAX);
+        let finalizations =
+            events.iter().filter(|e| matches!(e, CheckEvent::ExtFinalized { .. })).count();
+        assert_eq!(finalizations, 1, "{events:?}");
+        assert!(a.finish().is_ok());
+    }
+
+    #[test]
+    fn verdict_flips_stream_through() {
+        let mut a = sharded(3);
+        let mut events = a.receive(t(2, 1, 0, 3, 4).read(Key(1), Value(5)).build(), 0);
+        // Justifying writer arrives late: the worker's flip must surface
+        // on the coordinator's outbound stream (possibly on a later call).
+        events.extend(a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(5)).build(), 9));
+        events.extend(a.tick(u64::MAX));
+        assert!(
+            events.iter().any(|e| matches!(e, CheckEvent::VerdictFlip { tid: TxnId(2), .. })),
+            "{events:?}"
+        );
+        let out = a.finish();
+        assert!(out.is_ok(), "{}", out.report);
+        assert_eq!(out.flips.total_flips, 1);
+    }
+
+    #[test]
+    fn events_off_runs_quiet_but_correct() {
+        let mut a = OnlineChecker::builder().shards(4).events(false).build_sharded();
+        a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(5)).build(), 0);
+        let evs = a.receive(t(2, 1, 0, 3, 4).read(Key(1), Value(9)).build(), 0);
+        assert!(evs.is_empty());
+        assert!(a.tick(u64::MAX).is_empty());
+        let out = a.finish();
+        assert_eq!(out.report.count(AxiomKind::Ext), 1, "report unaffected by events off");
+    }
+
+    #[test]
+    fn one_shard_degenerates_to_single_checker_behaviour() {
+        let mut single = OnlineChecker::new_si(DataKind::Kv);
+        let mut sharded = sharded(1);
+        let txns = vec![
+            t(1, 0, 0, 1, 2).put(Key(1), Value(1)).build(),
+            t(2, 1, 0, 3, 5).put(Key(1), Value(2)).build(),
+            t(3, 2, 0, 6, 9).read(Key(1), Value(2)).put(Key(2), Value(2)).build(),
+            t(4, 3, 0, 8, 10).read(Key(2), Value(1)).build(),
+            t(5, 4, 0, 4, 7).read(Key(1), Value(1)).put(Key(2), Value(1)).build(),
+        ];
+        for txn in &txns {
+            single.receive(txn.clone(), 0);
+            sharded.receive(txn.clone(), 0);
+        }
+        let (a, b) = (single.finish(), sharded.finish());
+        assert_eq!(a.report.violations, b.report.violations);
+        assert_eq!(a.flips.total_flips, b.flips.total_flips);
+    }
+
+    #[test]
+    fn ser_mode_is_shard_aware_too() {
+        let mut a = OnlineChecker::builder().mode(Mode::Ser).shards(4).build_sharded();
+        a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(1)).build(), 0);
+        a.receive(t(2, 1, 0, 3, 6).put(Key(1), Value(2)).build(), 0);
+        a.receive(t(3, 2, 0, 4, 7).read(Key(1), Value(1)).build(), 0);
+        let out = a.finish();
+        assert_eq!(out.checker, "aion-ser-sharded");
+        assert_eq!(out.report.count(AxiomKind::Ext), 1, "{}", out.report);
+        assert_eq!(out.report.count(AxiomKind::NoConflict), 0);
+    }
+}

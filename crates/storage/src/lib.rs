@@ -19,6 +19,7 @@
 //!   simulation (Fig. 15).
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(rust_2018_idioms)]
 
 pub mod faults;

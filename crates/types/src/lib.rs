@@ -12,6 +12,7 @@
 //! vocabulary.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(rust_2018_idioms)]
 
 pub mod check;
@@ -24,7 +25,7 @@ pub mod rng;
 mod txn;
 mod violation;
 
-pub use check::{CheckEvent, Checker, CheckerStats, FlipSummary, Mode, Outcome};
+pub use check::{CheckEvent, Checker, CheckerStats, FlipSummary, Mode, Outcome, ShardConfig};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use history::{History, HistoryStats, IntegrityIssue};
 pub use ids::{EventKey, EventKind, Key, SessionId, Timestamp, TxnId, Value};

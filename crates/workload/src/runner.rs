@@ -31,7 +31,8 @@ pub struct RunReport {
     pub committed: usize,
     /// Number of aborted attempts (conflicts / lock failures).
     pub aborted_attempts: usize,
-    /// Templates abandoned after [`MAX_ATTEMPTS`] aborts.
+    /// Templates abandoned after the retry budget (25 attempts) was
+    /// exhausted.
     pub skipped: usize,
     /// Wall-clock execution time.
     pub elapsed: Duration,

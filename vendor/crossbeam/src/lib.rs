@@ -15,8 +15,16 @@ pub mod channel {
     pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
 
     /// The sending half of an unbounded channel.
-    #[derive(Clone, Debug)]
+    #[derive(Debug)]
     pub struct Sender<T>(mpsc::Sender<T>);
+
+    // Manual impl: senders clone for any payload type, as in the real
+    // crate (a derive would wrongly require `T: Clone`).
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
 
     impl<T> Sender<T> {
         /// Send a value; fails when the receiver hung up.
