@@ -50,7 +50,8 @@
 //! assert!(outcome.is_ok());
 //!
 //! // ...and online with AION, streaming events as arrivals come in.
-//! let mut checker = OnlineChecker::builder().mode(Mode::Si).ext_timeout_ms(5_000).build();
+//! let mut checker =
+//!     OnlineChecker::builder().mode(Mode::Si).ext_timeout_ms(5_000).build().expect("config");
 //! for (i, txn) in history.txns.iter().enumerate() {
 //!     for event in checker.feed(txn.clone(), i as u64) {
 //!         println!("[{i}] {event}");
@@ -101,18 +102,23 @@ pub mod prelude {
 
     pub use aion_online::{
         feed_plan, route_txn, run_plan, shard_of, AionConfig, AionOutcome, AionStats, Arrival,
-        FeedConfig, OnlineChecker, OnlineCheckerBuilder, OnlineGcPolicy, OnlineRunReport,
-        RoutedTxn, ShardConfig, ShardedChecker, TimedEvent,
+        ConfigError, FeedConfig, OnlineChecker, OnlineCheckerBuilder, OnlineGcPolicy,
+        OnlineRunReport, RoutedTxn, ShardConfig, ShardedChecker, TimedEvent,
     };
 
     pub use aion_storage::{
-        inject_clock_skew, inject_session_break, CentralOracle, CommitError, FaultPlan, MvccStore,
-        MvccTxn, Oracle, Recorder, SkewedHlcOracle, Store, StoreStats, StoreTxn, TwoPlStore,
-        TwoPlTxn,
+        inject_aborted_read, inject_clock_skew, inject_clock_skew_at, inject_commit_skew,
+        inject_dirty_write, inject_duplicate_tid, inject_duplicate_timestamp, inject_future_read,
+        inject_int_violation, inject_intermediate_read, inject_lost_update, inject_read_skew,
+        inject_session_break, inject_snapshot_skew, inject_write_skew, Anomaly, AnomalyProfile,
+        CentralOracle, CommitError, Expected, FaultPlan, MvccStore, MvccTxn, Oracle, Recorder,
+        SkewTarget, SkewedHlcOracle, Store, StoreStats, StoreTxn, TwoPlStore, TwoPlTxn,
+        ViolationKind,
     };
 
     pub use aion_workload::{
-        generate_faulty_history, generate_history, generate_templates, run_interleaved, table1,
-        IsolationLevel, KeyDist, OpTemplate, RunReport, TxnTemplate, WorkloadSpec,
+        generate_faulty_history, generate_history, generate_templates, run_interleaved,
+        run_templates, table1, IsolationLevel, KeyDist, OpTemplate, RunReport, TxnTemplate,
+        WorkloadSpec,
     };
 }

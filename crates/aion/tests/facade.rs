@@ -50,7 +50,7 @@ type CheckerRun = Box<dyn FnOnce(&[Transaction]) -> (Outcome, Vec<CheckEvent>)>;
 
 fn checkers(kind: DataKind) -> Vec<CheckerRun> {
     vec![
-        Box::new(move |txns| drive(OnlineChecker::builder().kind(kind).build(), txns)),
+        Box::new(move |txns| drive(OnlineChecker::builder().kind(kind).build().unwrap(), txns)),
         Box::new(move |txns| drive(ChronosChecker::si(kind), txns)),
         Box::new(move |txns| drive(ElleChecker::si(kind), txns)),
         Box::new(move |txns| drive(EmmeChecker::si(kind), txns)),
@@ -118,7 +118,7 @@ fn online_events_stream_before_finish() {
     }
     rest.extend(tail);
 
-    let (outcome, events) = drive(OnlineChecker::builder().kind(h.kind).build(), &rest);
+    let (outcome, events) = drive(OnlineChecker::builder().kind(h.kind).build().unwrap(), &rest);
     assert!(outcome.is_ok(), "delayed writer must be rectified: {}", outcome.report);
     // The checker surfaced *incremental* events mid-stream even though
     // the final report is clean.
@@ -158,11 +158,11 @@ fn ser_checkers_agree_on_write_skew() {
             .build(),
     );
 
-    let (si_online, _) = drive(OnlineChecker::builder().build(), &h.txns);
+    let (si_online, _) = drive(OnlineChecker::builder().build().unwrap(), &h.txns);
     let (si_offline, _) = drive(ChronosChecker::si(DataKind::Kv), &h.txns);
     assert!(si_online.is_ok() && si_offline.is_ok(), "write skew is legal under SI");
 
-    let (ser_online, _) = drive(OnlineChecker::builder().mode(Mode::Ser).build(), &h.txns);
+    let (ser_online, _) = drive(OnlineChecker::builder().mode(Mode::Ser).build().unwrap(), &h.txns);
     let (ser_offline, _) = drive(ChronosChecker::ser(DataKind::Kv), &h.txns);
     let (ser_emme, _) = drive(EmmeChecker::ser(DataKind::Kv), &h.txns);
     assert!(!ser_online.is_ok(), "AION-SER must reject write skew");
@@ -175,7 +175,7 @@ fn run_plan_is_checker_polymorphic() {
     // The arrival-plan driver accepts any Checker implementation.
     let h = generate_history(&spec(), IsolationLevel::Si);
     let plan = feed_plan(&h, &FeedConfig::default());
-    let online = run_plan(OnlineChecker::builder().kind(h.kind).build(), &plan);
+    let online = run_plan(OnlineChecker::builder().kind(h.kind).build().unwrap(), &plan);
     let offline = run_plan(ChronosChecker::si(h.kind), &plan);
     assert!(online.outcome.is_ok() && offline.outcome.is_ok());
     assert_eq!(online.outcome.report.len(), offline.outcome.report.len());

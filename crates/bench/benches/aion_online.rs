@@ -22,7 +22,12 @@ fn bench_receive_throughput(c: &mut Criterion) {
             b.iter(|| {
                 // Events off: measure raw checking throughput, as the
                 // paper does, without event materialization.
-                let mut ck = OnlineChecker::builder().kind(h.kind).mode(mode).events(false).build();
+                let mut ck = OnlineChecker::builder()
+                    .kind(h.kind)
+                    .mode(mode)
+                    .events(false)
+                    .build()
+                    .expect("open session");
                 for (at, txn) in &plan {
                     ck.tick(*at);
                     ck.receive(txn.clone(), *at);

@@ -23,7 +23,8 @@ fn bench_sharded_throughput(c: &mut Criterion) {
 
     group.bench_function("single", |b| {
         b.iter(|| {
-            let ck = OnlineChecker::builder().kind(h.kind).events(false).build();
+            let ck =
+                OnlineChecker::builder().kind(h.kind).events(false).build().expect("open session");
             run_plan(ck, &plan).outcome.stats.received
         })
     });
@@ -34,7 +35,8 @@ fn bench_sharded_throughput(c: &mut Criterion) {
                     .kind(h.kind)
                     .events(false)
                     .shards(shards)
-                    .build_sharded();
+                    .build_sharded()
+                    .expect("open session");
                 run_plan(ck, &plan).outcome.stats.received
             })
         });

@@ -30,12 +30,17 @@ fn main() {
                 i += 1;
                 ctx.out = args.get(i).map(Into::into).unwrap_or_else(|| die("--out needs a path"));
             }
+            "--fast" => ctx.fast = true,
             "list" => {
                 println!("available experiments:");
                 for id in ALL {
                     println!("  {id}");
                 }
                 println!("  bench-record  (writes BENCH_aion.json; not part of `all`)");
+                println!(
+                    "  conformance   (anomaly × level × checker matrix; --fast for CI; \
+                     not part of `all`)"
+                );
                 return;
             }
             "all" => ids.extend(ALL.iter().map(|s| s.to_string())),

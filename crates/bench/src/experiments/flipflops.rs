@@ -26,8 +26,12 @@ fn run_flips(h: &History, mean: f64, std: f64) -> FlipSummary {
         seed: 42,
     };
     let plan = feed_plan(h, &cfg);
-    let checker =
-        OnlineChecker::builder().kind(h.kind).mode(Mode::Si).track_flip_details(true).build();
+    let checker = OnlineChecker::builder()
+        .kind(h.kind)
+        .mode(Mode::Si)
+        .track_flip_details(true)
+        .build()
+        .expect("open session");
     run_plan(checker, &plan).outcome.flips
 }
 

@@ -5,6 +5,7 @@
 //! so the whole suite runs on a laptop in minutes; `--scale 1` reproduces
 //! paper-scale inputs.
 
+pub mod conformance;
 pub mod flipflops;
 pub mod offline;
 pub mod online;
@@ -19,11 +20,13 @@ pub struct Ctx {
     pub scale: usize,
     /// Output directory for CSVs.
     pub out: PathBuf,
+    /// CI mode (`--fast`): smaller histories, same cell coverage.
+    pub fast: bool,
 }
 
 impl Default for Ctx {
     fn default() -> Self {
-        Ctx { scale: 20, out: PathBuf::from("results") }
+        Ctx { scale: 20, out: PathBuf::from("results"), fast: false }
     }
 }
 
@@ -70,6 +73,7 @@ pub fn run(id: &str, ctx: &Ctx) -> bool {
         "fig19" => flipflops::fig19(ctx),
         "fig20_21" => flipflops::fig20_21(ctx),
         "bench-record" => record::bench_record(ctx),
+        "conformance" => conformance::conformance(ctx),
         _ => return false,
     }
     true

@@ -35,7 +35,8 @@ fn throughput_feed(h: &History) -> Vec<aion_online::Arrival> {
 
 fn run_aion(h: &History, mode: Mode, gc: OnlineGcPolicy) -> (f64, Vec<u32>, usize, usize) {
     let plan = throughput_feed(h);
-    let checker = OnlineChecker::builder().kind(h.kind).mode(mode).gc(gc).build();
+    let checker =
+        OnlineChecker::builder().kind(h.kind).mode(mode).gc(gc).build().expect("open session");
     let r = run_plan(checker, &plan);
     (r.mean_tps(), r.throughput.clone(), r.outcome.report.len(), r.outcome.stats.spilled_txns)
 }
@@ -188,7 +189,8 @@ pub fn fig16(ctx: &Ctx) {
         .kind(h.kind)
         .mode(Mode::Si)
         .gc(OnlineGcPolicy::Full { max_txns: cap })
-        .build();
+        .build()
+        .expect("open session");
     let mut t = Table::new(
         format!("Fig. 16: AION memory over (virtual) time, cap {cap} resident txns"),
         &["t(ms)", "est MiB", "resident txns", "spilled"],

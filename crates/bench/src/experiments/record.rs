@@ -40,14 +40,19 @@ pub fn bench_record(ctx: &Ctx) {
 
     let mut results: Vec<Measurement> = Vec::new();
     let single = |events: bool| {
-        let ck = OnlineChecker::builder().kind(h.kind).events(events).build();
+        let ck =
+            OnlineChecker::builder().kind(h.kind).events(events).build().expect("open session");
         run_plan(ck, &plan)
     };
     results.push(measure("single", 0, || single(false)));
     for shards in [1usize, 2, 4, 8] {
         results.push(measure("sharded", shards, || {
-            let ck =
-                OnlineChecker::builder().kind(h.kind).events(false).shards(shards).build_sharded();
+            let ck = OnlineChecker::builder()
+                .kind(h.kind)
+                .events(false)
+                .shards(shards)
+                .build_sharded()
+                .expect("open session");
             run_plan(ck, &plan)
         }));
     }

@@ -39,23 +39,35 @@ pub fn check_ser_consuming(history: History, opts: &ChronosSerOptions) -> Chrono
         let t = &history.txns[i as usize];
         (t.commit_ts, t.tid)
     });
-    // Integrity: duplicate tids and colliding commit timestamps.
+    // Integrity: duplicate tids, Eq. (1) well-formedness, and timestamp
+    // collisions across *all* recorded timestamps (start and commit; a
+    // transaction may share its own pair). SER ignores start timestamps
+    // for visibility, but collection integrity is level-independent:
+    // AION-SER's global admission checks report start-side collisions
+    // too, and the cross-checker conformance matrix holds both checkers
+    // to the same verdict. (Previously only commit-commit collisions
+    // were scanned here — a gap the matrix caught.)
     {
         let mut seen: FxHashMap<TxnId, ()> = FxHashMap::default();
+        let mut stamps: Vec<(Timestamp, TxnId)> = Vec::with_capacity(history.txns.len() * 2);
         for t in &history.txns {
             if seen.insert(t.tid, ()).is_some() {
                 report.push(Violation::DuplicateTid { tid: t.tid });
             }
-        }
-        for w in order.windows(2) {
-            let a = &history.txns[w[0] as usize];
-            let b = &history.txns[w[1] as usize];
-            if a.commit_ts == b.commit_ts && a.tid != b.tid {
-                report.push(Violation::DuplicateTimestamp {
-                    ts: a.commit_ts,
-                    t1: a.tid,
-                    t2: b.tid,
+            if t.start_ts > t.commit_ts {
+                report.push(Violation::TimestampOrder {
+                    tid: t.tid,
+                    start_ts: t.start_ts,
+                    commit_ts: t.commit_ts,
                 });
+            }
+            stamps.push((t.start_ts, t.tid));
+            stamps.push((t.commit_ts, t.tid));
+        }
+        stamps.sort_unstable();
+        for w in stamps.windows(2) {
+            if w[0].0 == w[1].0 && w[0].1 != w[1].1 {
+                report.push(Violation::DuplicateTimestamp { ts: w[0].0, t1: w[0].1, t2: w[1].1 });
             }
         }
     }
@@ -290,6 +302,31 @@ mod tests {
         ]);
         let out = check_ser(&h, &ChronosOptions::default());
         assert_eq!(out.report.count(AxiomKind::Integrity), 1);
+    }
+
+    #[test]
+    fn duplicate_start_ts_reported_under_ser() {
+        // SER ignores start timestamps for visibility, but a start
+        // colliding with another transaction's timestamp is still a
+        // collection-integrity break — AION-SER reports it, and the
+        // conformance matrix caught CHRONOS-SER silently accepting it.
+        let h = kv(vec![
+            TxnBuilder::new(1).session(0, 0).interval(1, 5).build(),
+            TxnBuilder::new(2).session(1, 0).interval(1, 7).build(),
+        ]);
+        let out = check_ser(&h, &ChronosOptions::default());
+        assert_eq!(out.report.count(AxiomKind::Integrity), 1, "{}", out.report);
+    }
+
+    #[test]
+    fn eq1_malformed_reported_under_ser() {
+        let h = kv(vec![TxnBuilder::new(1).session(0, 0).interval(9, 3).build()]);
+        let out = check_ser(&h, &ChronosOptions::default());
+        assert!(
+            out.report.violations.iter().any(|v| matches!(v, Violation::TimestampOrder { .. })),
+            "{}",
+            out.report
+        );
     }
 
     #[test]

@@ -132,7 +132,48 @@ impl AionConfig {
     }
 }
 
+/// A configuration that cannot open a checking session.
+///
+/// Surfaced by [`OnlineChecker::try_new`], [`OnlineCheckerBuilder::build`]
+/// and [`OnlineCheckerBuilder::build_sharded`] so a monitoring process can
+/// handle a bad configuration (fall back to in-memory spilling, alert,
+/// retry elsewhere) instead of dying in a constructor.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The configured spill file could not be created.
+    SpillFile {
+        /// The path from [`AionConfig::spill_path`].
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::SpillFile { path, source } => {
+                write!(f, "cannot create spill file {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::SpillFile { source, .. } => Some(source),
+        }
+    }
+}
+
 /// Builder for [`AionConfig`] / [`OnlineChecker`] sessions.
+///
+/// [`build`](Self::build) and [`build_sharded`](Self::build_sharded) are
+/// fallible: a configuration can name a spill file that cannot be
+/// created, and a monitoring process should see that as a typed
+/// [`ConfigError`], not a panic.
 ///
 /// ```
 /// use aion_online::{Mode, OnlineChecker, OnlineGcPolicy};
@@ -140,7 +181,8 @@ impl AionConfig {
 ///     .mode(Mode::Ser)
 ///     .gc(OnlineGcPolicy::Checking { max_txns: 10_000 })
 ///     .ext_timeout_ms(5_000)
-///     .build();
+///     .build()
+///     .expect("in-memory sessions cannot fail to open");
 /// assert_eq!(checker.config().mode, Mode::Ser);
 /// ```
 #[derive(Clone, Debug, Default)]
@@ -217,15 +259,18 @@ impl OnlineCheckerBuilder {
         self.cfg
     }
 
-    /// Finish building and open the checking session.
-    pub fn build(self) -> OnlineChecker {
-        OnlineChecker::new(self.cfg)
+    /// Finish building and open the checking session. Fails with a typed
+    /// [`ConfigError`] when the configured spill file cannot be created
+    /// (infallible for in-memory spilling, the default).
+    pub fn build(self) -> Result<OnlineChecker, ConfigError> {
+        OnlineChecker::try_new(self.cfg)
     }
 
     /// Finish building and open a sharded (parallel) checking session
-    /// over [`AionConfig::shard`] worker threads.
-    pub fn build_sharded(self) -> crate::sharded::ShardedChecker {
-        crate::sharded::ShardedChecker::new(self.cfg)
+    /// over [`AionConfig::shard`] worker threads. Fails with a typed
+    /// [`ConfigError`] when any worker's spill file cannot be created.
+    pub fn build_sharded(self) -> Result<crate::sharded::ShardedChecker, ConfigError> {
+        crate::sharded::ShardedChecker::try_new(self.cfg)
     }
 }
 
@@ -375,14 +420,28 @@ pub struct OnlineChecker {
 
 impl OnlineChecker {
     /// A checker with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configured spill file cannot be created; use
+    /// [`OnlineChecker::try_new`] (or the builder's fallible
+    /// [`OnlineCheckerBuilder::build`]) to handle that as a typed
+    /// [`ConfigError`] instead.
     pub fn new(cfg: AionConfig) -> OnlineChecker {
+        OnlineChecker::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// A checker with the given configuration, surfacing configuration
+    /// problems (an uncreatable spill file) as a typed error instead of
+    /// panicking.
+    pub fn try_new(cfg: AionConfig) -> Result<OnlineChecker, ConfigError> {
         let spill = match &cfg.spill_path {
             Some(path) => SpillStore::on_disk(path.clone())
-                .expect("failed to create spill file; use in-memory spilling instead"),
+                .map_err(|source| ConfigError::SpillFile { path: path.clone(), source })?,
             None => SpillStore::in_memory(),
         };
         let flips = FlipTracker::new(cfg.track_flip_details);
-        OnlineChecker {
+        Ok(OnlineChecker {
             cfg,
             txns: FxHashMap::default(),
             globals: GlobalChecks::default(),
@@ -399,7 +458,7 @@ impl OnlineChecker {
             flips,
             stats: AionStats::default(),
             events: Vec::new(),
-        }
+        })
     }
 
     /// Start building a checking session from the default configuration.
@@ -1264,7 +1323,8 @@ mod tests {
         let mut a = OnlineChecker::builder()
             .ext_timeout_ms(10)
             .gc(OnlineGcPolicy::Checking { max_txns: 8 })
-            .build();
+            .build()
+            .unwrap();
         let mut saw_spill = false;
         for i in 1..=40u64 {
             let txn = t(i, 0, (i - 1) as u32, i * 10, i * 10 + 5).put(Key(i % 4), Value(i)).build();
@@ -1277,7 +1337,7 @@ mod tests {
 
     #[test]
     fn events_off_keeps_verdicts_but_streams_nothing() {
-        let mut a = OnlineChecker::builder().events(false).build();
+        let mut a = OnlineChecker::builder().events(false).build().unwrap();
         let evs =
             a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(5)).read(Key(1), Value(6)).build(), 0);
         assert!(evs.is_empty(), "events disabled: {evs:?}");
@@ -1301,9 +1361,31 @@ mod tests {
         assert_eq!(cfg.ext_timeout_ms, 123);
         assert_eq!(cfg.gc, OnlineGcPolicy::Full { max_txns: 7 });
         assert!(cfg.track_flip_details && cfg.naive_recheck);
-        let ck = OnlineChecker::builder().mode(Mode::Ser).build();
+        let ck = OnlineChecker::builder().mode(Mode::Ser).build().unwrap();
         assert_eq!(ck.checker_name(), "aion-ser");
         assert_eq!(Checker::name(&ck), "aion-ser");
+    }
+
+    #[test]
+    fn uncreatable_spill_file_is_a_typed_error_not_a_panic() {
+        let bad = std::path::PathBuf::from("/nonexistent-dir-aion/spill.bin");
+        let Err(err) = OnlineChecker::builder().spill_path(bad.clone()).build() else {
+            panic!("opening a session with an uncreatable spill file must fail");
+        };
+        match &err {
+            ConfigError::SpillFile { path, source } => {
+                assert_eq!(path, &bad);
+                assert_eq!(source.kind(), std::io::ErrorKind::NotFound);
+            }
+        }
+        assert!(err.to_string().contains("spill file"), "{err}");
+        assert!(std::error::Error::source(&err).is_some());
+        // The sharded constructor surfaces the same error (suffixed per
+        // worker) instead of panicking a worker thread.
+        let Err(err) = OnlineChecker::builder().spill_path(bad).shards(2).build_sharded() else {
+            panic!("sharded sessions must surface the same error");
+        };
+        assert!(matches!(err, ConfigError::SpillFile { .. }));
     }
 
     #[test]

@@ -347,7 +347,7 @@ mod tests {
             &h,
             &FeedConfig { batch_size: 10, batch_interval_ms: 500, ..FeedConfig::default() },
         );
-        let checker = OnlineChecker::builder().ext_timeout_ms(100).build();
+        let checker = OnlineChecker::builder().ext_timeout_ms(100).build().expect("open session");
         let r = run_plan(checker, &plan);
         assert!(r.outcome.is_ok(), "{}", r.outcome.report);
         assert!(

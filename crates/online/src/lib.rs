@@ -34,7 +34,7 @@ pub mod versioned;
 
 pub use aion_types::check::{CheckEvent, Checker, Outcome, ShardConfig};
 pub use checker::{
-    AionConfig, AionOutcome, Mode, OnlineChecker, OnlineCheckerBuilder, OnlineGcPolicy,
+    AionConfig, AionOutcome, ConfigError, Mode, OnlineChecker, OnlineCheckerBuilder, OnlineGcPolicy,
 };
 pub use feed::{
     feed_plan, route_txn, run_plan, shard_of, Arrival, FeedConfig, OnlineRunReport, RoutedTxn,

@@ -46,7 +46,8 @@
 //! use aion_online::{Mode, OnlineChecker};
 //! use aion_types::{Checker, DataKind, Key, TxnBuilder, Value};
 //!
-//! let mut checker = OnlineChecker::builder().mode(Mode::Si).shards(4).build_sharded();
+//! let mut checker =
+//!     OnlineChecker::builder().mode(Mode::Si).shards(4).build_sharded().expect("config");
 //! checker.feed(
 //!     TxnBuilder::new(1).session(0, 0).interval(1, 2).put(Key(1), Value(7)).build(), 0);
 //! checker.feed(
@@ -56,7 +57,7 @@
 //! assert_eq!(outcome.txns, 2);
 //! ```
 
-use crate::checker::{AionConfig, GlobalChecks, Mode, OnlineChecker, OnlineGcPolicy};
+use crate::checker::{AionConfig, ConfigError, GlobalChecks, Mode, OnlineChecker, OnlineGcPolicy};
 use crate::feed::{route_txn, RoutedTxn};
 use aion_types::{
     CheckEvent, CheckReport, Checker, CheckerStats, FlipSummary, FxHashMap, Outcome, Transaction,
@@ -150,14 +151,24 @@ impl ShardedChecker {
     /// its key partition. Per-shard GC budgets divide
     /// [`OnlineGcPolicy`]'s `max_txns` evenly; a configured spill path
     /// gets a `.shardK` suffix per worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a worker's spill file cannot be created; use
+    /// [`ShardedChecker::try_new`] to handle that as a typed
+    /// [`ConfigError`] instead.
     pub fn new(cfg: AionConfig) -> ShardedChecker {
+        ShardedChecker::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ShardedChecker::new`], surfacing configuration problems (an
+    /// uncreatable worker spill file) as a typed [`ConfigError`].
+    /// Every worker checker is constructed *before* any thread spawns,
+    /// so a failure leaves no half-started session behind.
+    pub fn try_new(cfg: AionConfig) -> Result<ShardedChecker, ConfigError> {
         let shards = cfg.shard.shards.max(1);
-        let (reply_tx, reply_rx) = unbounded::<ShardReply>();
-        let mut cmd_tx = Vec::with_capacity(shards);
-        let mut workers = Vec::with_capacity(shards);
+        let mut checkers = Vec::with_capacity(shards);
         for shard in 0..shards {
-            let (tx, rx) = unbounded::<ShardCmd>();
-            cmd_tx.push(tx);
             let mut worker_cfg = cfg.clone();
             worker_cfg.coordinated = true;
             worker_cfg.shard_filter = if shards > 1 { Some((shard, shards)) } else { None };
@@ -175,8 +186,15 @@ impl ShardedChecker {
                 p.push(format!(".shard{shard}"));
                 worker_cfg.spill_path = Some(p.into());
             }
-            let events_on = worker_cfg.events;
-            let checker = OnlineChecker::new(worker_cfg);
+            checkers.push(OnlineChecker::try_new(worker_cfg)?);
+        }
+        let (reply_tx, reply_rx) = unbounded::<ShardReply>();
+        let mut cmd_tx = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for (shard, checker) in checkers.into_iter().enumerate() {
+            let (tx, rx) = unbounded::<ShardCmd>();
+            cmd_tx.push(tx);
+            let events_on = checker.config().events;
             let reply_tx = reply_tx.clone();
             workers.push(
                 std::thread::Builder::new()
@@ -185,7 +203,7 @@ impl ShardedChecker {
                     .expect("spawn shard worker"),
             );
         }
-        ShardedChecker {
+        Ok(ShardedChecker {
             cfg,
             shards,
             cmd_tx,
@@ -199,15 +217,15 @@ impl ShardedChecker {
             now_ms: 0,
             last_tick_broadcast: 0,
             events: Vec::new(),
-        }
+        })
     }
 
     /// A sharded session with `shards` workers over an otherwise
-    /// default configuration.
+    /// default configuration (in-memory spilling: infallible).
     pub fn with_shards(shards: usize) -> ShardedChecker {
         let mut cfg = AionConfig::default();
         cfg.shard.shards = shards.max(1);
-        ShardedChecker::new(cfg)
+        ShardedChecker::try_new(cfg).expect("in-memory sessions cannot fail to open")
     }
 
     /// The session's configuration.
@@ -549,7 +567,7 @@ mod tests {
     }
 
     fn sharded(n: usize) -> ShardedChecker {
-        OnlineChecker::builder().shards(n).build_sharded()
+        OnlineChecker::builder().shards(n).build_sharded().unwrap()
     }
 
     #[test]
@@ -637,7 +655,7 @@ mod tests {
 
     #[test]
     fn events_off_runs_quiet_but_correct() {
-        let mut a = OnlineChecker::builder().shards(4).events(false).build_sharded();
+        let mut a = OnlineChecker::builder().shards(4).events(false).build_sharded().unwrap();
         a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(5)).build(), 0);
         let evs = a.receive(t(2, 1, 0, 3, 4).read(Key(1), Value(9)).build(), 0);
         assert!(evs.is_empty());
@@ -668,7 +686,7 @@ mod tests {
 
     #[test]
     fn ser_mode_is_shard_aware_too() {
-        let mut a = OnlineChecker::builder().mode(Mode::Ser).shards(4).build_sharded();
+        let mut a = OnlineChecker::builder().mode(Mode::Ser).shards(4).build_sharded().unwrap();
         a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(1)).build(), 0);
         a.receive(t(2, 1, 0, 3, 6).put(Key(1), Value(2)).build(), 0);
         a.receive(t(3, 2, 0, 4, 7).read(Key(1), Value(1)).build(), 0);

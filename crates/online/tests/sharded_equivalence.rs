@@ -236,10 +236,11 @@ fn bench_workload_smoke_equivalence() {
     let spec = WorkloadSpec::default().with_txns(2_000).with_sessions(16).with_ops_per_txn(8);
     let h = generate_history(&spec, IsolationLevel::Si);
     let plan = aion_online::feed_plan(&h, &aion_online::FeedConfig::default());
-    let single = aion_online::run_plan(OnlineChecker::builder().kind(h.kind).build(), &plan);
+    let single =
+        aion_online::run_plan(OnlineChecker::builder().kind(h.kind).build().unwrap(), &plan);
     for shards in [1usize, 2, 4] {
         let sharded = aion_online::run_plan(
-            OnlineChecker::builder().kind(h.kind).shards(shards).build_sharded(),
+            OnlineChecker::builder().kind(h.kind).shards(shards).build_sharded().unwrap(),
             &plan,
         );
         assert_eq!(single.outcome.is_ok(), sharded.outcome.is_ok());

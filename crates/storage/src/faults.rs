@@ -56,17 +56,37 @@ impl FaultPlan {
     }
 }
 
-/// Shift the *recorded* start timestamps of a fraction of transactions
-/// backwards in time, modelling skewed clocks at collection: the engine
-/// executed correctly against the true timestamps, but the history claims
-/// earlier snapshots — so reads appear to observe values "from the future"
-/// (EXT violations), the signature of the YugabyteDB clock-skew bug.
+/// Which recorded timestamp [`inject_clock_skew_at`] perturbs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SkewTarget {
+    /// Shift `start_ts` backwards: the history claims an earlier snapshot
+    /// than the engine actually used, so reads appear to observe values
+    /// "from the future" (EXT violations under SI).
+    Start,
+    /// Shift `commit_ts` backwards: the recorded commit order disagrees
+    /// with the true publication order, so later readers appear to have
+    /// missed a committed write (commit-order EXT anomalies — the paper's
+    /// actual YugabyteDB clock-skew scenario, visible under SER).
+    Commit,
+}
+
+/// Shift the *recorded* timestamps of a fraction of transactions backwards
+/// in time, modelling skewed clocks at collection: the engine executed
+/// correctly against the true timestamps, but the recorded history lies.
 ///
 /// `rate` is the fraction of transactions perturbed; `magnitude` is the
-/// maximum backwards shift in timestamp units. Perturbed timestamps are kept
-/// unique by skipping shifts that would collide. Returns the number of
+/// maximum backwards shift in timestamp units. Perturbed timestamps are
+/// kept unique (shifts that would collide are skipped) and well-formed
+/// (`start_ts ≤ commit_ts` is preserved, so a [`SkewTarget::Commit`] shift
+/// never descends below the transaction's start). Returns the number of
 /// transactions perturbed.
-pub fn inject_clock_skew(h: &mut History, rate: f64, magnitude: u64, seed: u64) -> usize {
+pub fn inject_clock_skew_at(
+    h: &mut History,
+    target: SkewTarget,
+    rate: f64,
+    magnitude: u64,
+    seed: u64,
+) -> usize {
     let mut rng = SplitMix64::new(seed ^ 0xc10c);
     let mut used: FxHashSet<Timestamp> = FxHashSet::default();
     for t in &h.txns {
@@ -79,35 +99,71 @@ pub fn inject_clock_skew(h: &mut History, rate: f64, magnitude: u64, seed: u64) 
             continue;
         }
         let shift = 1 + rng.below(magnitude);
-        let Some(new_raw) = t.start_ts.get().checked_sub(shift) else { continue };
-        let new_ts = Timestamp(new_raw.max(1));
-        if new_ts >= t.start_ts || used.contains(&new_ts) {
+        let (old_ts, floor) = match target {
+            SkewTarget::Start => (t.start_ts, Timestamp(1)),
+            // A commit may not descend below its own start (Eq. 1). A
+            // read-only transaction with start == commit has no room and
+            // is skipped by the `new_ts >= old_ts` test below.
+            SkewTarget::Commit => (t.commit_ts, Timestamp(t.start_ts.get().max(1))),
+        };
+        let Some(new_raw) = old_ts.get().checked_sub(shift) else { continue };
+        let new_ts = Timestamp(new_raw.max(floor.get()));
+        if new_ts >= old_ts || used.contains(&new_ts) {
             continue;
         }
-        used.remove(&t.start_ts);
+        // Only vacate the old value when the *other* timestamp of this
+        // transaction does not share it (read-only transactions may have
+        // start == commit; freeing that value would let a later shift
+        // collide with the still-recorded twin).
+        let twin = match target {
+            SkewTarget::Start => t.commit_ts,
+            SkewTarget::Commit => t.start_ts,
+        };
+        if twin != old_ts {
+            used.remove(&old_ts);
+        }
         used.insert(new_ts);
-        t.start_ts = new_ts;
+        match target {
+            SkewTarget::Start => t.start_ts = new_ts,
+            SkewTarget::Commit => t.commit_ts = new_ts,
+        }
         perturbed += 1;
     }
     perturbed
 }
 
+/// [`inject_clock_skew_at`] over the start timestamps — the signature of
+/// snapshot-side clock skew (EXT violations under SI, invisible under
+/// SER's commit-order anchoring).
+pub fn inject_clock_skew(h: &mut History, rate: f64, magnitude: u64, seed: u64) -> usize {
+    inject_clock_skew_at(h, SkewTarget::Start, rate, magnitude, seed)
+}
+
 /// Swap the session sequence numbers of adjacent transaction pairs within
 /// sessions, modelling a collector that breaks session order
-/// (→ SESSION violations). Returns the number of swaps performed.
+/// (→ SESSION violations). Candidate pairs slide over every adjacent
+/// position — `(0,1), (1,2), …` — so the trailing transaction of an
+/// odd-length session is eligible too; after a swap the window advances
+/// past both members so no transaction is swapped twice (which would undo
+/// the break). Returns the number of swaps performed.
 pub fn inject_session_break(h: &mut History, rate: f64, seed: u64) -> usize {
     let mut rng = SplitMix64::new(seed ^ 0x5e55);
-    let sessions = h.sessions();
+    let mut sessions: Vec<_> = h.sessions().into_iter().collect();
+    sessions.sort_unstable_by_key(|(sid, _)| *sid);
     let mut swaps = 0;
     for (_, idxs) in sessions {
-        for pair in idxs.chunks_exact(2) {
+        let mut i = 0;
+        while i + 1 < idxs.len() {
             if rng.chance(rate) {
-                let (a, b) = (pair[0], pair[1]);
+                let (a, b) = (idxs[i], idxs[i + 1]);
                 let sno_a = h.txns[a].sno;
                 let sno_b = h.txns[b].sno;
                 h.txns[a].sno = sno_b;
                 h.txns[b].sno = sno_a;
                 swaps += 1;
+                i += 2;
+            } else {
+                i += 1;
             }
         }
     }
@@ -156,6 +212,91 @@ mod tests {
         assert!(swaps > 0);
         // Sequence numbers inside a session are now out of order somewhere.
         assert!(!h.integrity_issues().is_empty());
+    }
+
+    #[test]
+    fn session_break_reaches_trailing_pair_of_odd_sessions() {
+        // One session of length 3: under the old `chunks_exact(2)`
+        // iteration only (0,1) was ever eligible; the sliding window must
+        // be able to perturb the trailing (1,2) pair too.
+        let mut seen_trailing_swap = false;
+        for seed in 0..64u64 {
+            let mut h = History::new(DataKind::Kv);
+            for i in 0..3u64 {
+                h.push(
+                    TxnBuilder::new(i + 1)
+                        .session(0, i as u32)
+                        .interval(10 + i * 10, 15 + i * 10)
+                        .put(Key(i), Value(i + 1))
+                        .build(),
+                );
+            }
+            inject_session_break(&mut h, 0.5, seed);
+            if h.txns[2].sno != 2 {
+                seen_trailing_swap = true;
+                break;
+            }
+        }
+        assert!(seen_trailing_swap, "the trailing transaction must be perturbable");
+    }
+
+    #[test]
+    fn session_break_never_swaps_a_txn_twice() {
+        // At rate 1.0 every *disjoint* adjacent pair swaps exactly once:
+        // chained swaps (which would partially undo the break) must not
+        // happen, so the resulting sno multiset stays a permutation with
+        // every element displaced by at most one position.
+        let mut h = sample_history(40);
+        inject_session_break(&mut h, 1.0, 3);
+        for (_, idxs) in h.sessions() {
+            // `sessions()` sorts by (possibly swapped) sno; displacement
+            // bound: position in collection order differs by <= 1.
+            let mut by_collection: Vec<usize> = idxs.clone();
+            by_collection.sort_unstable();
+            for (pos, &i) in idxs.iter().enumerate() {
+                let orig = by_collection.iter().position(|&j| j == i).unwrap();
+                assert!(pos.abs_diff(orig) <= 1, "txn displaced more than one slot");
+            }
+        }
+    }
+
+    #[test]
+    fn commit_skew_preserves_eq1_and_uniqueness() {
+        let mut h = sample_history(50);
+        let n = inject_clock_skew_at(&mut h, SkewTarget::Commit, 0.6, 40, 5);
+        assert!(n > 0, "should perturb something");
+        for t in &h.txns {
+            assert!(t.start_ts <= t.commit_ts, "Eq. (1) must be preserved");
+        }
+        let mut ts: Vec<Timestamp> = Vec::new();
+        for t in &h.txns {
+            ts.push(t.start_ts);
+            if t.commit_ts != t.start_ts {
+                ts.push(t.commit_ts);
+            }
+        }
+        let len = ts.len();
+        ts.sort_unstable();
+        ts.dedup();
+        assert_eq!(ts.len(), len, "timestamps must stay unique");
+    }
+
+    #[test]
+    fn commit_skew_skips_read_only_transactions() {
+        // start == commit leaves no room below the floor; such
+        // transactions must be skipped, not malformed.
+        let mut h = History::new(DataKind::Kv);
+        for i in 0..10u64 {
+            h.push(
+                TxnBuilder::new(i + 1)
+                    .session(0, i as u32)
+                    .interval(100 + i, 100 + i) // read-only style interval
+                    .read(Key(0), Value::INIT)
+                    .build(),
+            );
+        }
+        assert_eq!(inject_clock_skew_at(&mut h, SkewTarget::Commit, 1.0, 50, 1), 0);
+        assert!(h.integrity_issues().is_empty());
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //!   style) and decentralized skewed (YugabyteDB style) timestamp oracles;
 //! * [`FaultPlan`] and the history-level injectors — controlled anomaly
 //!   generation for the violation-detection study (§V-D);
+//! * the [`anomalies`] matrix — targeted injectors for every classic
+//!   anomaly class (G0/G1a/G1b, lost update, write/read skew, future
+//!   reads, clock skew, integrity breaks), each tagged with the
+//!   [`ViolationKind`] a correct checker must report per isolation
+//!   level — the ground truth of the cross-checker conformance
+//!   harness (`docs/conformance.md`);
 //! * [`Recorder`] — CDC-style history collection with optional wire-cost
 //!   simulation (Fig. 15).
 
@@ -22,6 +28,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 #![warn(rust_2018_idioms)]
 
+pub mod anomalies;
 pub mod faults;
 pub mod mvcc;
 pub mod oracle;
@@ -29,7 +36,16 @@ pub mod recorder;
 pub mod store;
 pub mod twopl;
 
-pub use faults::{inject_clock_skew, inject_session_break, FaultPlan, SplitMix64};
+pub use anomalies::{
+    inject_aborted_read, inject_commit_skew, inject_dirty_write, inject_duplicate_tid,
+    inject_duplicate_timestamp, inject_future_read, inject_int_violation, inject_intermediate_read,
+    inject_lost_update, inject_read_skew, inject_snapshot_skew, inject_write_skew, Anomaly,
+    AnomalyProfile, Expected, ViolationKind,
+};
+pub use faults::{
+    inject_clock_skew, inject_clock_skew_at, inject_session_break, FaultPlan, SkewTarget,
+    SplitMix64,
+};
 pub use mvcc::{MvccStore, MvccTxn};
 pub use oracle::{CentralOracle, Oracle, SkewedHlcOracle};
 pub use recorder::Recorder;

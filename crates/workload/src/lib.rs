@@ -19,7 +19,7 @@ pub mod templates;
 pub use dist::{KeyDist, KeySampler};
 pub use runner::{
     generate_faulty_history, generate_history, run_interleaved, run_interleaved_with_recorder,
-    run_threaded, IsolationLevel, RunReport,
+    run_templates, run_threaded, IsolationLevel, RunReport,
 };
 pub use spec::{table1, WorkloadSpec};
 pub use templates::{generate_templates, OpTemplate, TxnTemplate};

@@ -14,7 +14,9 @@
 //! value-based baseline checkers (Elle, Cobra).
 
 use crate::templates::{OpTemplate, TxnTemplate};
-use aion_storage::{CommitError, FaultPlan, MvccStore, Recorder, Store, StoreTxn, TwoPlStore};
+use aion_storage::{
+    CentralOracle, CommitError, FaultPlan, MvccStore, Recorder, Store, StoreTxn, TwoPlStore,
+};
 use aion_types::{DataKind, History, SessionId, SplitMix64, Transaction, Value};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -276,14 +278,25 @@ pub enum IsolationLevel {
 /// Generate a history for `spec` deterministically at the given level.
 pub fn generate_history(spec: &crate::WorkloadSpec, level: IsolationLevel) -> History {
     let templates = crate::generate_templates(spec);
+    run_templates(spec, level, &templates)
+}
+
+/// Run pre-built templates (e.g. an application workload) under `spec`'s
+/// session count, seed and oracle stride at the given level.
+pub fn run_templates(
+    spec: &crate::WorkloadSpec,
+    level: IsolationLevel,
+    templates: &[TxnTemplate],
+) -> History {
+    let oracle = || Box::new(CentralOracle::with_stride(spec.ts_stride.max(1)));
     match level {
         IsolationLevel::Si => {
-            let store = MvccStore::new(spec.kind);
-            run_interleaved(&store, &templates, spec.sessions, spec.seed).history
+            let store = MvccStore::with_oracle(spec.kind, oracle());
+            run_interleaved(&store, templates, spec.sessions, spec.seed).history
         }
         IsolationLevel::Ser => {
-            let store = TwoPlStore::new(spec.kind);
-            run_interleaved(&store, &templates, spec.sessions, spec.seed).history
+            let store = TwoPlStore::with_oracle(spec.kind, oracle());
+            run_interleaved(&store, templates, spec.sessions, spec.seed).history
         }
     }
 }
@@ -291,7 +304,8 @@ pub fn generate_history(spec: &crate::WorkloadSpec, level: IsolationLevel) -> Hi
 /// Generate an SI history with engine-side fault injection.
 pub fn generate_faulty_history(spec: &crate::WorkloadSpec, plan: FaultPlan) -> History {
     let templates = crate::generate_templates(spec);
-    let store = MvccStore::with_faults(spec.kind, plan);
+    let oracle = Box::new(CentralOracle::with_stride(spec.ts_stride.max(1)));
+    let store = MvccStore::with_parts(spec.kind, oracle, plan);
     run_interleaved(&store, &templates, spec.sessions, spec.seed).history
 }
 

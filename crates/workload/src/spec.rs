@@ -23,6 +23,11 @@ pub struct WorkloadSpec {
     pub kind: DataKind,
     /// Seed for deterministic generation.
     pub seed: u64,
+    /// Timestamp-oracle stride: timestamps are issued as multiples of
+    /// this (default 1, the paper's dense centralized oracle). Larger
+    /// strides leave gaps between timestamps, which the anomaly-injection
+    /// matrix needs to relocate timestamps without collisions.
+    pub ts_stride: u64,
 }
 
 impl Default for WorkloadSpec {
@@ -36,6 +41,7 @@ impl Default for WorkloadSpec {
             dist: KeyDist::Zipfian,
             kind: DataKind::Kv,
             seed: 42,
+            ts_stride: 1,
         }
     }
 }
@@ -86,6 +92,12 @@ impl WorkloadSpec {
     /// Builder: set the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder: set the timestamp-oracle stride (clamped to at least 1).
+    pub fn with_ts_stride(mut self, stride: u64) -> Self {
+        self.ts_stride = stride.max(1);
         self
     }
 

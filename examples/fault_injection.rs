@@ -76,4 +76,25 @@ fn main() {
          anomalies — slip past the black-box checker but are caught by \
          CHRONOS, the paper's §V-D observation."
     );
+
+    // --- the anomaly-injection matrix -----------------------------------
+    // Each `Anomaly` plants one textbook isolation bug into a *valid*
+    // history and carries the verdict a correct checker must reach per
+    // level. `experiments conformance` asserts the full (anomaly × level
+    // × checker) matrix in CI; see docs/conformance.md.
+    println!();
+    println!("--- targeted anomaly injection (docs/conformance.md) ---");
+    let base = generate_history(&spec.with_txns(2_000).with_ts_stride(16), IsolationLevel::Si);
+    for &anomaly in Anomaly::ALL {
+        let mut h = base.clone();
+        let planted = anomaly.inject(&mut h, 0.2, 42);
+        let report = check_si_report(&h);
+        let p = anomaly.profile();
+        println!(
+            "{:<22} planted {planted:>3}   SI expects {:<18} got: {}",
+            anomaly.name(),
+            p.si.to_string(),
+            report.summary()
+        );
+    }
 }

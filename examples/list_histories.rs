@@ -77,7 +77,7 @@ fn main() {
 
     // Online: the append cascade re-derives published lists when a base
     // arrives late (see aion-online's checker docs).
-    let mut ck = OnlineChecker::builder().kind(DataKind::List).build();
+    let mut ck = OnlineChecker::builder().kind(DataKind::List).build().expect("open session");
     ck.receive(TxnBuilder::new(2).session(0, 0).interval(3, 4).append(k, Value(20)).build(), 0);
     ck.receive(
         TxnBuilder::new(3)

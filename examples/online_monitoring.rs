@@ -42,7 +42,8 @@ fn main() {
         .ext_timeout_ms(5_000) // the paper's conservative 5 s
         .gc(OnlineGcPolicy::Checking { max_txns: 4_000 })
         .track_flip_details(true)
-        .build();
+        .build()
+        .expect("open checking session");
 
     // Drive the session through the polymorphic `Checker` trait, printing
     // the first few incremental events as they stream out — verdicts are

@@ -42,7 +42,8 @@ fn main() {
             .mode(Mode::Si)
             .ext_timeout_ms(5_000)
             .shards(shards)
-            .build_sharded();
+            .build_sharded()
+            .expect("open sharded session");
         println!("== {} shard(s) ==", checker.num_shards());
 
         // Drive through the polymorphic `Checker` trait; show the first
