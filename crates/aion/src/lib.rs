@@ -16,6 +16,7 @@
 //! | [`storage`] | `aion-storage` | MVCC-SI and strict-2PL engines, timestamp oracles, fault injection |
 //! | [`workload`] | `aion-workload` | the paper's Table I workload, list workloads, Twitter/RUBiS/TPC-C-lite |
 //! | [`baselines`] | `aion-baselines` | Elle, Emme, PolySI, Viper, Cobra reconstructions |
+//! | [`io`] | `aion-io` | history interchange (JSONL/binary/dbcop/EDN) and streaming file ingestion |
 //!
 //! ## The streaming session API
 //!
@@ -75,6 +76,7 @@
 
 pub use aion_baselines as baselines;
 pub use aion_core as offline;
+pub use aion_io as io;
 pub use aion_online as online;
 pub use aion_storage as storage;
 pub use aion_types as types;
@@ -120,5 +122,10 @@ pub mod prelude {
         generate_faulty_history, generate_history, generate_templates, run_interleaved,
         run_templates, table1, IsolationLevel, KeyDist, OpTemplate, RunReport, TxnTemplate,
         WorkloadSpec,
+    };
+
+    pub use aion_io::{
+        open_path, open_stream, read_history, stream_check, verdict_of, write_history,
+        write_history_to_path, Format, HistoryReader, IoFormatError, ReaderOptions, StreamReport,
     };
 }

@@ -3,16 +3,25 @@
 //! ```text
 //! experiments <id>... [--scale N] [--out DIR]
 //! experiments all [--scale N]
+//! experiments check <path> [--format f] [--level si|ser|both] [--checker c] [--expect pass|fail]
+//! experiments convert <in> <out> [--from f] [--to f]
 //! experiments list
 //! ```
 
-use aion_bench::experiments::{run, Ctx, ALL};
+use aion_bench::experiments::{interchange, run, Ctx, ALL};
 
 #[global_allocator]
 static ALLOCATOR: aion_bench::alloc::CountingAllocator = aion_bench::alloc::CountingAllocator;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Subcommands with positional arguments dispatch before the
+    // experiment-id loop.
+    match args.first().map(String::as_str) {
+        Some("check") => return interchange::check_cmd(&args[1..]),
+        Some("convert") => return interchange::convert_cmd(&args[1..]),
+        _ => {}
+    }
     let mut ctx = Ctx::default();
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
@@ -41,6 +50,8 @@ fn main() {
                     "  conformance   (anomaly × level × checker matrix; --fast for CI; \
                      not part of `all`)"
                 );
+                println!("  check <path>  (stream a history file through a checker)");
+                println!("  convert <in> <out>  (translate between interchange formats)");
                 return;
             }
             "all" => ids.extend(ALL.iter().map(|s| s.to_string())),

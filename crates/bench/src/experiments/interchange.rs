@@ -1,0 +1,300 @@
+//! `experiments check` / `experiments convert`: point any checker at a
+//! history file, or translate between interchange formats.
+//!
+//! ```text
+//! experiments check <path> [--format auto|jsonl|bin|dbcop|edn]
+//!                          [--level si|ser|both] [--checker aion|sharded-N|chronos|elle|emme]
+//!                          [--kind kv|list] [--gc N] [--expect pass|fail]
+//! experiments convert <in> <out> [--from auto|...] [--to jsonl|bin|dbcop]
+//! ```
+//!
+//! `check` streams the file through [`aion_io::stream_check`] — the
+//! reader yields one transaction at a time, so the history is never
+//! materialized — and prints one verdict line per isolation level in
+//! the same [`aion_io::verdict_of`] notation the golden corpus records.
+//! `--expect` turns the run into an assertion (CI smoke): `pass`
+//! requires every level's verdict to be `ok`, `fail` requires none to
+//! be. `--gc N` bounds the online checker's resident transactions
+//! (spill-to-disk GC), making truly larger-than-memory runs practical.
+//!
+//! `convert` reads leniently (anomalies pass through untouched) and
+//! rewrites; dbcop → jsonl keeps the synthesized serial timestamps, and
+//! aion-written dbcop files convert back losslessly via their `"aion"`
+//! extension.
+
+use aion_baselines::{ElleChecker, EmmeChecker};
+use aion_core::{ChronosChecker, ChronosOptions};
+use aion_io::{
+    detect_format, open_path, read_history, stream_check, verdict_of, write_history_to_path,
+    Format, ReaderOptions, StreamReport,
+};
+use aion_online::{OnlineChecker, OnlineGcPolicy};
+use aion_types::{DataKind, Mode};
+use std::path::PathBuf;
+
+/// Which checker family `--checker` selected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Family {
+    Aion,
+    Sharded(usize),
+    Chronos,
+    Elle,
+    Emme,
+}
+
+impl Family {
+    fn parse(s: &str) -> Option<Family> {
+        match s {
+            "aion" => Some(Family::Aion),
+            "chronos" => Some(Family::Chronos),
+            "elle" => Some(Family::Elle),
+            "emme" => Some(Family::Emme),
+            _ => s
+                .strip_prefix("sharded-")
+                .and_then(|n| n.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .map(Family::Sharded),
+        }
+    }
+}
+
+struct CheckArgs {
+    path: PathBuf,
+    format: Option<Format>,
+    levels: Vec<Mode>,
+    family: Family,
+    kind_hint: Option<DataKind>,
+    gc: Option<usize>,
+    expect: Option<bool>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    args.get(*i).map(String::as_str).unwrap_or_else(|| die(&format!("{flag} needs a value")))
+}
+
+fn parse_check_args(args: &[String]) -> CheckArgs {
+    let mut parsed = CheckArgs {
+        path: PathBuf::new(),
+        format: None,
+        levels: vec![Mode::Si, Mode::Ser],
+        family: Family::Aion,
+        kind_hint: None,
+        gc: None,
+        expect: None,
+    };
+    let mut path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => match flag_value(args, &mut i, "--format") {
+                "auto" => parsed.format = None,
+                other => {
+                    parsed.format = Some(
+                        Format::parse_flag(other)
+                            .unwrap_or_else(|| die(&format!("unknown format '{other}'"))),
+                    )
+                }
+            },
+            "--level" => {
+                parsed.levels = match flag_value(args, &mut i, "--level") {
+                    "si" => vec![Mode::Si],
+                    "ser" => vec![Mode::Ser],
+                    "both" => vec![Mode::Si, Mode::Ser],
+                    other => die(&format!("unknown level '{other}' (si|ser|both)")),
+                }
+            }
+            "--checker" => {
+                let v = flag_value(args, &mut i, "--checker");
+                parsed.family =
+                    Family::parse(v).unwrap_or_else(|| die(&format!("unknown checker '{v}'")));
+            }
+            "--kind" => {
+                parsed.kind_hint = Some(match flag_value(args, &mut i, "--kind") {
+                    "kv" => DataKind::Kv,
+                    "list" => DataKind::List,
+                    other => die(&format!("unknown kind '{other}' (kv|list)")),
+                })
+            }
+            "--gc" => {
+                let v = flag_value(args, &mut i, "--gc");
+                parsed.gc = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| die("--gc needs a positive integer")),
+                );
+            }
+            "--expect" => {
+                parsed.expect = Some(match flag_value(args, &mut i, "--expect") {
+                    "pass" => true,
+                    "fail" => false,
+                    other => die(&format!("unknown expectation '{other}' (pass|fail)")),
+                })
+            }
+            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            other => {
+                if path.replace(PathBuf::from(other)).is_some() {
+                    die("check takes exactly one input path");
+                }
+            }
+        }
+        i += 1;
+    }
+    parsed.path = path.unwrap_or_else(|| {
+        die("usage: experiments check <path> [--format f] [--level si|ser|both] \
+             [--checker c] [--kind kv|list] [--gc N] [--expect pass|fail]")
+    });
+    parsed
+}
+
+fn run_one(a: &CheckArgs, mode: Mode, kind: DataKind) -> StreamReport {
+    let opts = ReaderOptions { strict: false, kind_hint: a.kind_hint };
+    let mut reader = open_path(&a.path, a.format, opts)
+        .unwrap_or_else(|e| die(&format!("cannot open {}: {e}", a.path.display())));
+    let report = match a.family {
+        Family::Aion => {
+            let mut b = OnlineChecker::builder().kind(kind).mode(mode);
+            if let Some(max_txns) = a.gc {
+                b = b.gc(OnlineGcPolicy::Checking { max_txns });
+            }
+            let ck = b.build().unwrap_or_else(|e| die(&format!("cannot open session: {e}")));
+            stream_check(reader.as_mut(), ck)
+        }
+        Family::Sharded(n) => {
+            let ck = OnlineChecker::builder()
+                .kind(kind)
+                .mode(mode)
+                .shards(n)
+                .build_sharded()
+                .unwrap_or_else(|e| die(&format!("cannot open session: {e}")));
+            stream_check(reader.as_mut(), ck)
+        }
+        Family::Chronos => stream_check(
+            reader.as_mut(),
+            ChronosChecker::new(mode, kind, ChronosOptions::default()),
+        ),
+        Family::Elle => stream_check(reader.as_mut(), ElleChecker::new(mode, kind)),
+        Family::Emme => stream_check(reader.as_mut(), EmmeChecker::new(mode, kind)),
+    };
+    report.unwrap_or_else(|e| die(&format!("cannot read {}: {e}", a.path.display())))
+}
+
+/// `experiments check <path> ...`: stream a history file through a
+/// checker at one or both isolation levels. Exits non-zero when
+/// `--expect` disagrees with any verdict.
+pub fn check_cmd(args: &[String]) {
+    let mut a = parse_check_args(args);
+    let format = a
+        .format
+        .map(Ok)
+        .unwrap_or_else(|| detect_format(&a.path))
+        .unwrap_or_else(|e| die(&format!("cannot detect format of {}: {e}", a.path.display())));
+    // Per-level runs reuse the detected format instead of re-sniffing.
+    a.format = Some(format);
+    // The kind is known once one reader opens (header / first entry).
+    let kind = a.kind_hint.unwrap_or_else(|| {
+        open_path(&a.path, Some(format), ReaderOptions { strict: false, kind_hint: None })
+            .map(|r| r.kind())
+            .unwrap_or_else(|e| die(&format!("cannot open {}: {e}", a.path.display())))
+    });
+    let mut mismatches = 0usize;
+    for &mode in &a.levels {
+        let report = run_one(&a, mode, kind);
+        let verdict = verdict_of(&report.outcome);
+        println!(
+            "check {} format={format} kind={} checker={} txns={} events={} verdict={verdict}",
+            a.path.display(),
+            match kind {
+                DataKind::Kv => "kv",
+                DataKind::List => "list",
+            },
+            report.outcome.checker,
+            report.txns,
+            report.events,
+        );
+        if let Some(expect_pass) = a.expect {
+            if report.outcome.is_ok() != expect_pass {
+                eprintln!(
+                    "!! {} under {}: expected {}, observed {verdict}",
+                    a.path.display(),
+                    mode.label(),
+                    if expect_pass { "pass" } else { "fail" },
+                );
+                mismatches += 1;
+            }
+        }
+    }
+    if mismatches > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// `experiments convert <in> <out> ...`: translate a history file
+/// between interchange formats.
+pub fn convert_cmd(args: &[String]) {
+    let mut from: Option<Format> = None;
+    let mut to: Option<Format> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--from" => match flag_value(args, &mut i, "--from") {
+                "auto" => from = None,
+                other => {
+                    from = Some(
+                        Format::parse_flag(other)
+                            .unwrap_or_else(|| die(&format!("unknown format '{other}'"))),
+                    )
+                }
+            },
+            "--to" => {
+                let v = flag_value(args, &mut i, "--to");
+                to = Some(
+                    Format::parse_flag(v).unwrap_or_else(|| die(&format!("unknown format '{v}'"))),
+                );
+            }
+            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            other => paths.push(PathBuf::from(other)),
+        }
+        i += 1;
+    }
+    let [input, output] = paths.as_slice() else {
+        die("usage: experiments convert <in> <out> [--from f] [--to jsonl|bin|dbcop]");
+    };
+    let to = to
+        .or_else(|| Format::from_extension(output))
+        .unwrap_or_else(|| die("cannot infer target format from extension; pass --to"));
+    let h = read_history(input, from)
+        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", input.display())));
+    write_history_to_path(&h, to, output)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", output.display())));
+    let stats = h.stats();
+    println!(
+        "convert {} -> {} ({}): {} txns, {} ops, {} sessions",
+        input.display(),
+        output.display(),
+        to,
+        stats.txns,
+        stats.ops,
+        stats.sessions
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_flag_parses() {
+        assert_eq!(Family::parse("aion"), Some(Family::Aion));
+        assert_eq!(Family::parse("sharded-3"), Some(Family::Sharded(3)));
+        assert_eq!(Family::parse("sharded-0"), None);
+        assert_eq!(Family::parse("polysi"), None);
+    }
+}

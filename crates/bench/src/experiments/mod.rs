@@ -7,6 +7,7 @@
 
 pub mod conformance;
 pub mod flipflops;
+pub mod interchange;
 pub mod offline;
 pub mod online;
 pub mod record;

@@ -1,0 +1,514 @@
+//! The golden interchange corpus: checked-in history files (valid + one
+//! per anomaly class, in every format that can carry them) with the
+//! verdict every checker must produce at each isolation level recorded
+//! in `tests/corpus/manifest.json`.
+//!
+//! One test does three jobs, in order:
+//!
+//! 1. **Fixture drift** — regenerate every fixture from its canonical
+//!    in-code definition and require byte-equality with the checked-in
+//!    file. A serializer, injector or workload-generator change that
+//!    alters any byte fails here.
+//! 2. **Ground truth** — the timestamp-based checkers' verdicts on each
+//!    anomaly fixture must agree with the anomaly's
+//!    [`AnomalyProfile`](aion_storage::AnomalyProfile) tag (detect the
+//!    tagged kind, or accept where the level permits), tying the golden
+//!    record to the injector library's guarantees.
+//! 3. **Differential replay** — stream every corpus file through
+//!    OnlineChecker, ShardedChecker(2), ChronosChecker, Elle and Emme
+//!    at both levels via [`aion_io::stream_check`] and require the
+//!    recorded verdict, per file. A checker regression on any cell
+//!    fails here.
+//!
+//! Regenerate after an intentional change with
+//! `UPDATE_CORPUS=1 cargo test -p aion-io --test golden_corpus` and
+//! commit the diff; CI re-runs the update and fails on any diff.
+
+use aion_baselines::{ElleChecker, EmmeChecker};
+use aion_core::{ChronosChecker, ChronosOptions};
+use aion_io::json::JsonValue;
+use aion_io::{open_path, stream_check, verdict_of, Format, ReaderOptions};
+use aion_online::OnlineChecker;
+use aion_storage::{Anomaly, Expected};
+use aion_types::{DataKind, History, Key, Mode, Op, Snapshot, TxnBuilder, Value};
+use aion_workload::{generate_history, IsolationLevel, WorkloadSpec};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Transactions per generated base history. Small enough that the full
+/// (file × checker × level) replay stays fast, dense enough that every
+/// injector finds candidates.
+const TXNS: usize = 60;
+/// Base injection seed (each anomaly probes forward from here until it
+/// plants at least one instance — deterministically).
+const SEED: u64 = 0xA10;
+
+const CHECKERS: &[&str] = &["aion", "sharded-2", "chronos", "elle", "emme"];
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("corpus")
+}
+
+// ------------------------------------------------------------- fixtures
+
+struct Fixture {
+    name: String,
+    anomaly: Option<Anomaly>,
+    planted: usize,
+    history: History,
+}
+
+fn si_base() -> History {
+    generate_history(&base_spec(), IsolationLevel::Si)
+}
+
+fn ser_base() -> History {
+    generate_history(&base_spec(), IsolationLevel::Ser)
+}
+
+fn base_spec() -> WorkloadSpec {
+    WorkloadSpec::default()
+        .with_txns(TXNS)
+        .with_sessions(8)
+        .with_ops_per_txn(5)
+        .with_keys(24)
+        .with_ts_stride(16)
+        .with_seed(7)
+}
+
+/// A hand-built strictly serial history, valid under SI *and* SER —
+/// the cross-level smoke fixture (`experiments check --level both`).
+fn serial_history() -> History {
+    let mut h = History::new(DataKind::Kv);
+    let mut frontier = [0u64; 4];
+    for i in 0..24u64 {
+        let read_key = (i + 3) % 4;
+        let write_key = i % 4;
+        h.push(
+            TxnBuilder::new(i + 1)
+                .session((i % 3) as u32, (i / 3) as u32)
+                .interval(2 * i + 1, 2 * i + 2)
+                .read(Key(read_key), Value(frontier[read_key as usize]))
+                .put(Key(write_key), Value(i + 1))
+                .build(),
+        );
+        frontier[write_key as usize] = i + 1;
+    }
+    h
+}
+
+/// Inject `anomaly` into a copy of `base`, probing seeds until at least
+/// one instance plants (deterministic: first hit wins).
+fn injected(base: &History, anomaly: Anomaly) -> (History, usize) {
+    let rate = match anomaly {
+        Anomaly::SessionBreak => 0.08,
+        Anomaly::DuplicateTid => 0.10,
+        _ => 0.25,
+    };
+    for salt in 0..16 {
+        let mut h = base.clone();
+        let planted = anomaly.inject(&mut h, rate, SEED + salt);
+        if planted > 0 {
+            return (h, planted);
+        }
+    }
+    panic!("{} planted nothing in 16 seeds", anomaly.name());
+}
+
+fn fixtures() -> Vec<Fixture> {
+    let si = si_base();
+    let ser = ser_base();
+    let mut out = vec![
+        Fixture {
+            name: "valid_serial".into(),
+            anomaly: None,
+            planted: 0,
+            history: serial_history(),
+        },
+        Fixture { name: "valid_kv_si".into(), anomaly: None, planted: 0, history: si.clone() },
+        Fixture { name: "valid_kv_ser".into(), anomaly: None, planted: 0, history: ser.clone() },
+        Fixture {
+            name: "valid_list_si".into(),
+            anomaly: None,
+            planted: 0,
+            history: generate_history(&base_spec().with_kind(DataKind::List), IsolationLevel::Si),
+        },
+    ];
+    for &a in Anomaly::ALL {
+        let (history, planted) = injected(&si, a);
+        out.push(Fixture { name: format!("{}_si", a.name()), anomaly: Some(a), planted, history });
+    }
+    // The SER-side detection story: write skew planted into a SER base.
+    let (history, planted) = injected(&ser, Anomaly::WriteSkew);
+    out.push(Fixture {
+        name: "write-skew_ser".into(),
+        anomaly: Some(Anomaly::WriteSkew),
+        planted,
+        history,
+    });
+    out
+}
+
+/// Foreign fixtures: files *not* produced by this crate's writers —
+/// dbcop's own lost-update example and a bare Elle-style log — checked
+/// in verbatim to pin the timestamp-synthesis path.
+fn foreign_fixtures() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "foreign_lost_update.dbcop.json",
+            r#"{
+  "params": {"id": 0, "n_node": 2, "n_variable": 1, "n_transaction": 1, "n_event": 2},
+  "info": "lost-update example from dbcop's CLI reference",
+  "start": "2025-01-01T00:00:00Z",
+  "end": "2025-01-01T00:00:01Z",
+  "data": [
+    [
+      {"events": [{"Read": {"variable": 0, "version": 0}},
+                  {"Write": {"variable": 0, "version": 1}}], "committed": true}
+    ],
+    [
+      {"events": [{"Read": {"variable": 0, "version": 0}},
+                  {"Write": {"variable": 0, "version": 2}}], "committed": true}
+    ]
+  ]
+}
+"#,
+        ),
+        (
+            "foreign_elle.edn",
+            r#"; a minimal Elle-style op log (no aion extension keys)
+{:type :invoke, :f :txn, :process 0, :value [[:w :x 1]]}
+{:type :ok, :f :txn, :process 0, :value [[:w :x 1]]}
+{:type :ok, :f :txn, :process 1, :value [[:r :x 1] [:w :y 2]]}
+{:type :ok, :f :txn, :process 0, :value [[:r :y 2]]}
+"#,
+        ),
+    ]
+}
+
+// ---------------------------------------------------------- serializers
+
+fn formats_for(kind: DataKind) -> &'static [Format] {
+    match kind {
+        DataKind::Kv => &[Format::Jsonl, Format::Binary, Format::Dbcop, Format::Edn],
+        DataKind::List => &[Format::Jsonl, Format::Binary, Format::Edn],
+    }
+}
+
+fn file_ext(format: Format) -> &'static str {
+    match format {
+        Format::Jsonl => "jsonl",
+        Format::Binary => "bin",
+        Format::Dbcop => "dbcop.json",
+        Format::Edn => "edn",
+    }
+}
+
+/// Test-only EDN exporter (the crate itself reads EDN but does not
+/// write it): one `:ok` entry per transaction, with the extension keys
+/// the reader round-trips ids and timestamps through.
+fn edn_of(h: &History) -> Vec<u8> {
+    let mut out = String::new();
+    for t in &h.txns {
+        let _ = write!(
+            out,
+            "{{:type :ok, :process {}, :sno {}, :tid {}, :start-ts {}, :commit-ts {}, :value [",
+            t.sid.0, t.sno, t.tid.0, t.start_ts.0, t.commit_ts.0
+        );
+        for (i, op) in t.ops.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            match op {
+                Op::Read { key, value } => match value {
+                    Snapshot::Scalar(v) => {
+                        let _ = write!(out, "[:r {} {}]", key.0, v.0);
+                    }
+                    Snapshot::List(l) => {
+                        let _ = write!(out, "[:r {} [", key.0);
+                        for (j, e) in l.elems().iter().enumerate() {
+                            if j > 0 {
+                                out.push(' ');
+                            }
+                            let _ = write!(out, "{}", e.0);
+                        }
+                        out.push_str("]]");
+                    }
+                },
+                Op::Write { key, mutation } => match mutation {
+                    aion_types::Mutation::Put(v) => {
+                        let _ = write!(out, "[:w {} {}]", key.0, v.0);
+                    }
+                    aion_types::Mutation::Append(v) => {
+                        let _ = write!(out, "[:append {} {}]", key.0, v.0);
+                    }
+                },
+            }
+        }
+        out.push_str("]}\n");
+    }
+    out.into_bytes()
+}
+
+fn serialize(h: &History, format: Format) -> Vec<u8> {
+    if format == Format::Edn {
+        return edn_of(h);
+    }
+    let mut bytes = Vec::new();
+    aion_io::write_history(h, format, &mut bytes).expect("serialize fixture");
+    bytes
+}
+
+// ------------------------------------------------------------- replays
+
+fn replay(path: &Path, mode: Mode, family: &str) -> aion_io::StreamReport {
+    let opts = ReaderOptions::default();
+    let mut reader =
+        open_path(path, None, opts).unwrap_or_else(|e| panic!("open {}: {e}", path.display()));
+    let kind = reader.kind();
+    let report = match family {
+        "aion" => stream_check(
+            reader.as_mut(),
+            OnlineChecker::builder().kind(kind).mode(mode).build().expect("session"),
+        ),
+        "sharded-2" => stream_check(
+            reader.as_mut(),
+            OnlineChecker::builder()
+                .kind(kind)
+                .mode(mode)
+                .shards(2)
+                .build_sharded()
+                .expect("session"),
+        ),
+        "chronos" => stream_check(
+            reader.as_mut(),
+            ChronosChecker::new(mode, kind, ChronosOptions::default()),
+        ),
+        "elle" => stream_check(reader.as_mut(), ElleChecker::new(mode, kind)),
+        "emme" => stream_check(reader.as_mut(), EmmeChecker::new(mode, kind)),
+        other => panic!("unknown family {other}"),
+    };
+    report.unwrap_or_else(|e| panic!("replay {} via {family}: {e}", path.display()))
+}
+
+// ------------------------------------------------------------- manifest
+
+/// Replay every corpus file and render the manifest. The manifest *is*
+/// the golden record: comparing it against the checked-in copy is the
+/// differential test.
+fn compute_manifest(files: &[(String, DataKind, Option<Anomaly>, usize)]) -> String {
+    let dir = corpus_dir();
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"fixtures\": [\n");
+    for (i, (file, kind, anomaly, planted)) in files.iter().enumerate() {
+        let path = dir.join(file);
+        let kind_label = match kind {
+            DataKind::Kv => "kv",
+            DataKind::List => "list",
+        };
+        let mut txns = 0usize;
+        let mut levels = String::new();
+        for (li, mode) in [Mode::Si, Mode::Ser].into_iter().enumerate() {
+            let mut cells = String::new();
+            for (ci, family) in CHECKERS.iter().enumerate() {
+                let report = replay(&path, mode, family);
+                txns = report.txns;
+                let _ = write!(
+                    cells,
+                    "\"{family}\": \"{}\"{}",
+                    verdict_of(&report.outcome),
+                    if ci + 1 < CHECKERS.len() { ", " } else { "" }
+                );
+            }
+            let _ = writeln!(
+                levels,
+                "      \"{}\": {{{cells}}}{}",
+                mode.label(),
+                if li == 0 { "," } else { "" }
+            );
+        }
+        let _ = write!(
+            out,
+            "    {{\n      \"file\": \"{file}\",\n      \"kind\": \"{kind_label}\",\n      \
+             \"anomaly\": \"{}\",\n      \"planted\": {planted},\n      \"txns\": {txns},\n\
+             {levels}    }}{}\n",
+            anomaly.map(|a| a.name()).unwrap_or("none"),
+            if i + 1 < files.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Compare two manifests cell-by-cell with actionable messages, then
+/// byte-for-byte.
+fn assert_manifest_matches(checked_in: &str, computed: &str) {
+    let parse = |s: &str, which: &str| {
+        JsonValue::parse_str(s, Format::Jsonl)
+            .unwrap_or_else(|e| panic!("{which} manifest does not parse: {e}"))
+    };
+    let old = parse(checked_in, "checked-in");
+    let new = parse(computed, "computed");
+    let entries = |v: &JsonValue| -> Vec<JsonValue> {
+        v.get("fixtures").and_then(JsonValue::as_arr).map(<[JsonValue]>::to_vec).unwrap_or_default()
+    };
+    let old_entries = entries(&old);
+    for entry in entries(&new) {
+        let file = entry.get("file").and_then(JsonValue::as_str).unwrap_or("?").to_string();
+        let Some(old_entry) = old_entries
+            .iter()
+            .find(|e| e.get("file").and_then(JsonValue::as_str) == Some(file.as_str()))
+        else {
+            panic!("corpus file {file} missing from checked-in manifest — run UPDATE_CORPUS=1");
+        };
+        for level in ["si", "ser"] {
+            for family in CHECKERS {
+                let cell = |e: &JsonValue| {
+                    e.get(level)
+                        .and_then(|l| l.get(family))
+                        .and_then(JsonValue::as_str)
+                        .map(str::to_string)
+                };
+                let (want, got) = (cell(old_entry), cell(&entry));
+                assert_eq!(
+                    want, got,
+                    "verdict drift: {file} / {level} / {family} — recorded {want:?}, \
+                     replay produced {got:?}"
+                );
+            }
+        }
+    }
+    assert_eq!(checked_in, computed, "manifest formatting drift — run UPDATE_CORPUS=1");
+}
+
+// ------------------------------------------------------------- the test
+
+#[test]
+fn golden_corpus_is_current_and_verdicts_hold() {
+    let update = std::env::var("UPDATE_CORPUS").is_ok();
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).expect("corpus dir");
+
+    // 1. Fixture files: regenerate and compare (or rewrite).
+    let mut files: Vec<(String, DataKind, Option<Anomaly>, usize)> = Vec::new();
+    for f in fixtures() {
+        for &format in formats_for(f.history.kind) {
+            let file = format!("{}.{}", f.name, file_ext(format));
+            let bytes = serialize(&f.history, format);
+            let path = dir.join(&file);
+            if update {
+                std::fs::write(&path, &bytes).expect("write fixture");
+            } else {
+                let checked_in = std::fs::read(&path)
+                    .unwrap_or_else(|e| panic!("{file} missing ({e}) — run UPDATE_CORPUS=1"));
+                assert!(
+                    checked_in == bytes,
+                    "{file} drifted from its canonical definition — \
+                     run UPDATE_CORPUS=1 and review the diff"
+                );
+            }
+            files.push((file, f.history.kind, f.anomaly, f.planted));
+        }
+        // Writers round-trip by construction; assert it once per fixture
+        // on the densest format so corpus files are known-readable.
+        let jsonl = serialize(&f.history, Format::Jsonl);
+        let reader =
+            aion_io::open_stream(&jsonl[..], Format::Jsonl, ReaderOptions::default()).unwrap();
+        assert_eq!(aion_io::read_history_from(reader).unwrap(), f.history, "{}", f.name);
+    }
+    for (file, contents) in foreign_fixtures() {
+        let path = dir.join(file);
+        if update {
+            std::fs::write(&path, contents).expect("write foreign fixture");
+        } else {
+            let checked_in = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{file} missing ({e}) — run UPDATE_CORPUS=1"));
+            assert_eq!(checked_in, contents, "{file} drifted");
+        }
+        // Both foreign fixtures are register histories.
+        files.push((file.to_string(), DataKind::Kv, None, 0));
+    }
+
+    // 2. Ground truth: timestamp checkers must agree with each anomaly's
+    //    profile tag on the jsonl fixture at the level it targets.
+    for f in fixtures() {
+        let Some(anomaly) = f.anomaly else { continue };
+        assert!(f.planted > 0, "{}: nothing planted", f.name);
+        let path = dir.join(format!("{}.jsonl", f.name));
+        let (mode, expected) = if f.name.ends_with("_ser") {
+            (Mode::Ser, anomaly.profile().ser)
+        } else {
+            (Mode::Si, anomaly.profile().si)
+        };
+        for family in ["aion", "sharded-2", "chronos"] {
+            let report = replay(&path, mode, family);
+            match expected {
+                Expected::Detect(kind) => assert!(
+                    report.outcome.report.count(kind) > 0,
+                    "{} / {} / {family}: profile demands {kind}, verdict was {}",
+                    f.name,
+                    mode.label(),
+                    verdict_of(&report.outcome)
+                ),
+                Expected::Accept => assert!(
+                    report.outcome.is_ok(),
+                    "{} / {} / {family}: profile demands accept, verdict was {}",
+                    f.name,
+                    mode.label(),
+                    verdict_of(&report.outcome)
+                ),
+            }
+        }
+    }
+
+    // 3. The differential replay: recorded verdict per (file, level,
+    //    checker), via the manifest.
+    let computed = compute_manifest(&files);
+    let manifest_path = dir.join("manifest.json");
+    if update {
+        std::fs::write(&manifest_path, &computed).expect("write manifest");
+        println!("corpus updated: {} files + manifest", files.len());
+    } else {
+        let checked_in = std::fs::read_to_string(&manifest_path)
+            .unwrap_or_else(|e| panic!("manifest.json missing ({e}) — run UPDATE_CORPUS=1"));
+        assert_manifest_matches(&checked_in, &computed);
+    }
+}
+
+/// The valid fixtures must pass the timestamp checkers at the level
+/// they were generated for — independently of the recorded manifest, so
+/// a wrong golden record cannot mask a broken "valid" fixture.
+#[test]
+fn valid_fixtures_pass_their_level() {
+    let dir = corpus_dir();
+    for (file, modes) in [
+        ("valid_serial.jsonl", &[Mode::Si, Mode::Ser][..]),
+        ("valid_serial.dbcop.json", &[Mode::Si, Mode::Ser][..]),
+        ("valid_serial.edn", &[Mode::Si, Mode::Ser][..]),
+        ("valid_serial.bin", &[Mode::Si, Mode::Ser][..]),
+        ("valid_kv_si.jsonl", &[Mode::Si][..]),
+        ("valid_kv_ser.bin", &[Mode::Ser][..]),
+        ("valid_list_si.edn", &[Mode::Si][..]),
+        ("foreign_elle.edn", &[Mode::Si, Mode::Ser][..]),
+    ] {
+        let path = dir.join(file);
+        if !path.exists() {
+            panic!("{file} missing — run UPDATE_CORPUS=1 first");
+        }
+        for &mode in modes {
+            let report = replay(&path, mode, "aion");
+            assert!(
+                report.outcome.is_ok(),
+                "{file} under {}: {}",
+                mode.label(),
+                report.outcome.report
+            );
+        }
+    }
+    // And the foreign lost-update example must *fail* both levels: its
+    // synthesized serial order exposes the stale read.
+    for mode in [Mode::Si, Mode::Ser] {
+        let report = replay(&dir.join("foreign_lost_update.dbcop.json"), mode, "aion");
+        assert!(!report.outcome.is_ok(), "lost update must be detected under {}", mode.label());
+        assert!(report.outcome.report.count(aion_types::AxiomKind::Ext) > 0);
+    }
+}

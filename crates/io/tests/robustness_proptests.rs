@@ -1,0 +1,182 @@
+//! Parser robustness: no input — truncated, bit-flipped, spliced with
+//! garbage — may ever panic a reader. Everything is either a decoded
+//! history or a typed [`IoFormatError`]. The property test mutates
+//! valid serialized fixtures byte-by-byte and drives each reader to
+//! exhaustion; the deterministic tests pin the specific typed errors
+//! the satellite classes demand (truncation, garbage, duplicate tids,
+//! version-header mismatch).
+
+use aion_io::{open_stream, Format, IoFormatError, ReaderOptions};
+use aion_types::{DataKind, History, Key, TxnBuilder, Value};
+use proptest::prelude::*;
+
+fn sample() -> History {
+    let mut h = History::new(DataKind::Kv);
+    for i in 0..8u64 {
+        h.push(
+            TxnBuilder::new(i + 1)
+                .session((i % 3) as u32, (i / 3) as u32)
+                .interval(10 + i * 10, 15 + i * 10)
+                .put(Key(i % 4), Value(i + 1))
+                .read(Key((i + 1) % 4), Value(0))
+                .build(),
+        );
+    }
+    h
+}
+
+fn serialized(format: Format) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    aion_io::write_history(&sample(), format, &mut bytes).expect("serialize");
+    bytes
+}
+
+/// A small EDN fixture (EDN has no writer; readers still must be total).
+const EDN: &[u8] = br#"
+{:type :ok, :process 0, :value [[:w :x 1] [:r :y nil]]}
+{:type :ok, :process 1, :value [[:r :x 1]]}
+{:type :ok, :process 0, :value [[:w :y 2]]}
+"#;
+
+fn bytes_of(format: Format) -> Vec<u8> {
+    match format {
+        Format::Edn => EDN.to_vec(),
+        f => serialized(f),
+    }
+}
+
+/// Drive a reader over `bytes` to exhaustion. Returns how many
+/// transactions decoded before the end or the first typed error. The
+/// real assertion is implicit: this function returning at all means no
+/// reader panicked.
+fn drain(bytes: &[u8], format: Format) -> (usize, Option<IoFormatError>) {
+    let mut n = 0usize;
+    let reader = open_stream(bytes, format, ReaderOptions::strict());
+    let mut reader = match reader {
+        Ok(r) => r,
+        Err(e) => return (0, Some(e)),
+    };
+    loop {
+        match reader.next_txn() {
+            Ok(Some(_)) => n += 1,
+            Ok(None) => return (n, None),
+            Err(e) => {
+                // Typed errors must render; an empty Display would make
+                // CLI diagnostics useless.
+                assert!(!e.to_string().is_empty());
+                return (n, Some(e));
+            }
+        }
+    }
+}
+
+fn arb_format() -> impl Strategy<Value = Format> {
+    (0usize..Format::ALL.len()).prop_map(|i| Format::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Truncation at any byte: never a panic; for the binary format a
+    /// cut inside the transaction region is always a typed error (the
+    /// count prefix promises more).
+    #[test]
+    fn truncation_never_panics(format in arb_format(), frac in 0.0f64..1.0) {
+        let bytes = bytes_of(format);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let (_, err) = drain(&bytes[..cut], format);
+        if format == Format::Binary && cut > 8 && cut < bytes.len() {
+            prop_assert!(err.is_some(), "binary cut at {cut}/{} must error", bytes.len());
+        }
+    }
+
+    /// Any single byte overwritten with any value: never a panic.
+    #[test]
+    fn byte_flips_never_panic(
+        format in arb_format(),
+        pos_frac in 0.0f64..1.0,
+        byte in any::<u8>(),
+    ) {
+        let mut bytes = bytes_of(format);
+        let pos = (((bytes.len() - 1) as f64) * pos_frac) as usize;
+        bytes[pos] = byte;
+        drain(&bytes, format);
+    }
+
+    /// Garbage spliced into the stream: never a panic.
+    #[test]
+    fn garbage_splices_never_panic(
+        format in arb_format(),
+        pos_frac in 0.0f64..1.0,
+        garbage in prop::collection::vec(any::<u8>(), 1..24),
+    ) {
+        let mut bytes = bytes_of(format);
+        let pos = ((bytes.len() as f64) * pos_frac) as usize;
+        bytes.splice(pos..pos, garbage);
+        drain(&bytes, format);
+    }
+
+    /// Pure garbage from the first byte: a typed error (or an empty
+    /// parse), never a panic.
+    #[test]
+    fn pure_garbage_never_panics(
+        format in arb_format(),
+        garbage in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        drain(&garbage, format);
+    }
+}
+
+#[test]
+fn duplicate_tids_are_typed_errors_in_strict_mode() {
+    let mut h = sample();
+    let twin = h.txns[0].clone();
+    h.push(twin);
+    for format in [Format::Jsonl, Format::Binary, Format::Dbcop] {
+        let mut bytes = Vec::new();
+        aion_io::write_history(&h, format, &mut bytes).unwrap();
+        let (n, err) = drain(&bytes, format);
+        assert!(
+            matches!(err, Some(IoFormatError::DuplicateTid { .. })),
+            "{format}: expected DuplicateTid after {n} txns, got {err:?}"
+        );
+    }
+    // EDN spells the duplicate via extension keys.
+    let edn = br#"
+        {:type :ok, :process 0, :sno 0, :tid 7, :start-ts 1, :commit-ts 2, :value [[:w 1 1]]}
+        {:type :ok, :process 1, :sno 0, :tid 7, :start-ts 3, :commit-ts 4, :value [[:w 2 1]]}
+    "#;
+    let (_, err) = drain(edn, Format::Edn);
+    assert!(matches!(err, Some(IoFormatError::DuplicateTid { .. })), "edn: got {err:?}");
+}
+
+#[test]
+fn version_header_mismatch_is_typed() {
+    let bytes = serialized(Format::Jsonl);
+    let text = String::from_utf8(bytes).unwrap();
+    let skewed = text.replacen("\"version\":1", "\"version\":2", 1);
+    let err = open_stream(skewed.as_bytes(), Format::Jsonl, ReaderOptions::default())
+        .err()
+        .expect("a version-2 header must be rejected");
+    assert!(matches!(err, IoFormatError::UnsupportedVersion { found: 2 }), "got {err:?}");
+}
+
+#[test]
+fn cross_format_confusion_is_typed() {
+    // Feeding every format's bytes to every *other* format's reader must
+    // produce typed errors (or an empty parse), never a panic, and the
+    // honest formats reject each other's headers outright.
+    for victim in Format::ALL {
+        for parser in Format::ALL {
+            if victim == parser {
+                continue;
+            }
+            let bytes = bytes_of(*victim);
+            let (n, err) = drain(&bytes, *parser);
+            assert!(
+                err.is_some() || n == 0,
+                "{parser} reader accepted {victim} bytes as {n} transactions"
+            );
+        }
+    }
+}

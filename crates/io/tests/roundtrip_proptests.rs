@@ -1,0 +1,66 @@
+//! Round-trip property tests: arbitrary generated histories survive
+//! `History → {jsonl, binary, dbcop} → History` **identically** — same
+//! transactions, same ops, same timestamps, same collection order —
+//! over the existing `WorkloadSpec` generators at both isolation levels
+//! and both data kinds (dbcop is register-only, so its leg runs on the
+//! kv histories).
+
+use aion_io::{open_stream, read_history_from, write_history, Format, ReaderOptions};
+use aion_storage::Anomaly;
+use aion_types::{DataKind, History};
+use aion_workload::{generate_history, IsolationLevel, WorkloadSpec};
+use proptest::prelude::*;
+
+fn roundtrip(h: &History, format: Format) -> History {
+    let mut bytes = Vec::new();
+    write_history(h, format, &mut bytes).expect("serialize");
+    let reader = open_stream(&bytes[..], format, ReaderOptions::default()).expect("open");
+    read_history_from(reader).expect("deserialize")
+}
+
+fn arb_spec() -> impl Strategy<Value = (WorkloadSpec, IsolationLevel)> {
+    (1usize..60, 1usize..7, 2u64..40, 1usize..7, any::<u64>(), 0u8..2, 0u8..2).prop_map(
+        |(txns, sessions, keys, ops, seed, level, kind)| {
+            let spec = WorkloadSpec::default()
+                .with_txns(txns)
+                .with_sessions(sessions)
+                .with_keys(keys)
+                .with_ops_per_txn(ops)
+                .with_kind(if kind == 0 { DataKind::Kv } else { DataKind::List })
+                .with_seed(seed);
+            let level = if level == 0 { IsolationLevel::Si } else { IsolationLevel::Ser };
+            (spec, level)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_histories_roundtrip((spec, level) in arb_spec()) {
+        let h = generate_history(&spec, level);
+        prop_assert_eq!(&roundtrip(&h, Format::Jsonl), &h, "jsonl");
+        prop_assert_eq!(&roundtrip(&h, Format::Binary), &h, "binary");
+        if h.kind == DataKind::Kv {
+            prop_assert_eq!(&roundtrip(&h, Format::Dbcop), &h, "dbcop");
+        }
+    }
+
+    /// Anomalous histories (weird timestamps, duplicate ids, swapped
+    /// session orders) must survive the trip too — the corpus depends
+    /// on fixtures carrying their defects byte-faithfully.
+    #[test]
+    fn injected_histories_roundtrip(
+        (spec, level) in arb_spec(),
+        which in 0usize..Anomaly::ALL.len(),
+        seed in any::<u64>(),
+    ) {
+        let mut h = generate_history(&spec.with_kind(DataKind::Kv).with_ts_stride(16), level);
+        let anomaly = Anomaly::ALL[which];
+        anomaly.inject(&mut h, 0.3, seed);
+        prop_assert_eq!(&roundtrip(&h, Format::Jsonl), &h, "jsonl/{}", anomaly.name());
+        prop_assert_eq!(&roundtrip(&h, Format::Binary), &h, "binary/{}", anomaly.name());
+        prop_assert_eq!(&roundtrip(&h, Format::Dbcop), &h, "dbcop/{}", anomaly.name());
+    }
+}

@@ -547,7 +547,26 @@ impl OnlineChecker {
 
     /// Rough estimate of live checker memory, for the constrained-memory
     /// experiment (Fig. 16).
+    ///
+    /// Covers the resident transactions and versioned indexes, the
+    /// spill store's buffered segments (the in-memory backend *retains*
+    /// every spilled byte, so spilling without a disk path does not
+    /// reduce process memory), and the transient event/deadline/trigger
+    /// buffers. The `memory_estimate_*` test pins this arithmetic
+    /// against the component accessors.
     pub fn estimated_memory_bytes(&self) -> usize {
+        let mut bytes = self.state_bytes_estimate();
+        bytes += self.spill.buffered_bytes();
+        bytes += self.deadlines.len() * std::mem::size_of::<Reverse<(u64, TxnId)>>();
+        bytes += self.triggers.len() * std::mem::size_of::<(Key, EventKey)>();
+        bytes += self.events.capacity() * std::mem::size_of::<CheckEvent>();
+        bytes
+    }
+
+    /// The resident-state share of [`Self::estimated_memory_bytes`]:
+    /// transactions, frontier versions and the read/write/overlap
+    /// indexes (no spill-store or buffer overhead).
+    fn state_bytes_estimate(&self) -> usize {
         let mut bytes = 0usize;
         for t in self.txns.values() {
             bytes += 128 + t.txn.ops.len() * 48 + t.reads.len() * 96 + t.write_set.len() * 56;
@@ -1386,6 +1405,61 @@ mod tests {
             panic!("sharded sessions must surface the same error");
         };
         assert!(matches!(err, ConfigError::SpillFile { .. }));
+    }
+
+    #[test]
+    fn memory_estimate_includes_spill_and_buffer_overhead() {
+        let feed = |mut a: OnlineChecker| -> OnlineChecker {
+            for i in 1..=40u64 {
+                let txn =
+                    t(i, 0, (i - 1) as u32, i * 10, i * 10 + 5).put(Key(i % 4), Value(i)).build();
+                a.receive(txn, i * 100);
+                a.tick(i * 100);
+            }
+            a
+        };
+        let gc = OnlineGcPolicy::Checking { max_txns: 8 };
+        let a = feed(OnlineChecker::builder().ext_timeout_ms(10).gc(gc).build().unwrap());
+        assert!(a.stats().spilled_txns > 0, "GC must have spilled");
+        let spill = a.spill.buffered_bytes();
+        assert!(
+            spill >= a.stats().spill_bytes as usize,
+            "the in-memory backend retains every spilled byte ({spill} vs {})",
+            a.stats().spill_bytes
+        );
+        // Pin the accounting: the estimate is exactly state + spill store
+        // + deadline/trigger/event buffers.
+        let expected = a.state_bytes_estimate()
+            + spill
+            + a.deadlines.len() * std::mem::size_of::<Reverse<(u64, TxnId)>>()
+            + a.triggers.len() * std::mem::size_of::<(Key, EventKey)>()
+            + a.events.capacity() * std::mem::size_of::<CheckEvent>();
+        assert_eq!(a.estimated_memory_bytes(), expected);
+        assert!(
+            a.estimated_memory_bytes() > a.state_bytes_estimate(),
+            "spill overhead must be visible in the estimate"
+        );
+
+        // A disk-backed spill store pays only segment metadata: the same
+        // feed must estimate less than the in-memory-spill twin.
+        let dir = std::env::temp_dir().join(format!("aion-mem-est-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let b = feed(
+            OnlineChecker::builder()
+                .ext_timeout_ms(10)
+                .gc(gc)
+                .spill_path(dir.join("spill.bin"))
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(b.stats().spilled_txns, a.stats().spilled_txns, "twin runs spill identically");
+        assert!(
+            b.spill.buffered_bytes() < spill,
+            "disk-backed spilling must not count segment bytes as resident"
+        );
+        assert!(b.estimated_memory_bytes() < a.estimated_memory_bytes());
+        drop(b);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

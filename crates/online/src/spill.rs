@@ -160,6 +160,19 @@ impl SpillStore {
     pub fn resident_out(&self) -> usize {
         self.segments.iter().filter(|s| !s.loaded).map(|s| s.txns).sum()
     }
+
+    /// Bytes of process memory this store currently holds: all segment
+    /// buffers for the in-memory backend (which retains every segment,
+    /// reloaded or not), plus the per-segment metadata either backend
+    /// keeps. Disk-backed stores only pay the metadata — their segments
+    /// live in the file.
+    pub fn buffered_bytes(&self) -> usize {
+        let meta = self.segments.len() * std::mem::size_of::<SegmentMeta>();
+        match &self.backend {
+            Backend::Memory(bufs) => meta + bufs.iter().map(Vec::len).sum::<usize>(),
+            Backend::Disk { .. } => meta,
+        }
+    }
 }
 
 #[cfg(test)]
