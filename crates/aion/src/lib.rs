@@ -91,15 +91,20 @@ pub mod prelude {
     //! checkers stay behind [`crate::baselines`] to keep the namespace
     //! tidy.
 
+    #[allow(deprecated)] // the alias itself is the pre-lattice compatibility surface
+    pub use aion_types::Mode;
     pub use aion_types::{
         apply, expected_read, AxiomKind, CheckEvent, CheckReport, Checker, CheckerStats, DataKind,
-        EventKey, FlipSummary, History, HistoryStats, Key, Mode, Outcome, SessionId, Snapshot,
+        EventKey, ExtPredicate, FlipSummary, History, HistoryStats, IsolationLevel, Key,
+        LevelChecks, LevelPolicy, Outcome, ReadAnchor, SessionId, SessionPredicate, Snapshot,
         Timestamp, Transaction, TxnBuilder, TxnId, Value, Violation,
     };
 
     pub use aion_core::{
-        check_ser, check_ser_consuming, check_ser_report, check_si, check_si_consuming,
-        check_si_report, ChronosChecker, ChronosOptions, ChronosOutcome, GcPolicy, StageTimings,
+        check_ra, check_ra_consuming, check_ra_report, check_rc, check_rc_consuming,
+        check_rc_report, check_ser, check_ser_consuming, check_ser_report, check_si,
+        check_si_consuming, check_si_report, ChronosChecker, ChronosOptions, ChronosOutcome,
+        GcPolicy, StageTimings,
     };
 
     pub use aion_online::{
@@ -120,8 +125,7 @@ pub mod prelude {
 
     pub use aion_workload::{
         generate_faulty_history, generate_history, generate_templates, run_interleaved,
-        run_templates, table1, IsolationLevel, KeyDist, OpTemplate, RunReport, TxnTemplate,
-        WorkloadSpec,
+        run_templates, table1, KeyDist, LevelMix, OpTemplate, RunReport, TxnTemplate, WorkloadSpec,
     };
 
     pub use aion_io::{

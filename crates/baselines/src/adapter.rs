@@ -7,17 +7,24 @@
 //! `finish` does all the work; the baselines report anomalies as
 //! human-readable notes plus an accept/reject verdict (they do not
 //! produce [`aion_types::Violation`]s).
+//!
+//! Both baseline inferences model exactly SI and SER; a session opened
+//! at any other [`IsolationLevel`] (RC, RA, a future lattice point)
+//! finishes with the typed [`Outcome::unsupported`] verdict — never a
+//! silently-SI answer, never a panic — so mixed-level drivers can
+//! route around them deterministically.
 
 use crate::elle::{check_elle, Level};
 use crate::emme::{check_emme_ser, check_emme_si};
 use crate::verdict::BaselineOutcome;
-use aion_types::check::{CheckEvent, Checker, Mode, Outcome};
-use aion_types::{CheckReport, DataKind, History, Transaction};
+use aion_types::check::{CheckEvent, Checker, Outcome};
+use aion_types::{CheckReport, DataKind, History, IsolationLevel, Transaction};
 
-fn level_of(mode: Mode) -> Level {
-    match mode {
-        Mode::Si => Level::Si,
-        Mode::Ser => Level::Ser,
+fn level_of(level: IsolationLevel) -> Option<Level> {
+    match level {
+        IsolationLevel::Si => Some(Level::Si),
+        IsolationLevel::Ser => Some(Level::Ser),
+        _ => None,
     }
 }
 
@@ -32,42 +39,46 @@ fn baseline_outcome(name: &'static str, txns: usize, out: BaselineOutcome) -> Ou
 }
 
 /// The baseline adapters share one shape — buffer the stream, run the
-/// batch checker at `finish` — differing only in names and the batch
-/// entry point; this macro stamps out each adapter from those two.
+/// batch checker at `finish` (or refuse unsupported levels with a typed
+/// verdict) — differing only in names and the batch entry point; this
+/// macro stamps out each adapter from those two.
 macro_rules! buffered_baseline {
     (
         $(#[$doc:meta])*
-        $name:ident, si = $si_name:literal, ser = $ser_name:literal,
+        $name:ident, prefix = $prefix:literal, si = $si_name:literal, ser = $ser_name:literal,
         finish = $finish:expr
     ) => {
         $(#[$doc])*
         pub struct $name {
-            mode: Mode,
+            level: IsolationLevel,
             history: History,
         }
 
         impl $name {
-            /// A session checking `mode` over `kind`-typed data.
-            pub fn new(mode: Mode, kind: DataKind) -> $name {
-                $name { mode, history: History::new(kind) }
+            /// A session checking `level` over `kind`-typed data. Levels
+            /// outside the baseline's model (anything but SI/SER) open
+            /// fine but finish with [`Outcome::unsupported`].
+            pub fn new(level: IsolationLevel, kind: DataKind) -> $name {
+                $name { level, history: History::new(kind) }
             }
 
             /// A snapshot-isolation session.
             pub fn si(kind: DataKind) -> $name {
-                $name::new(Mode::Si, kind)
+                $name::new(IsolationLevel::Si, kind)
             }
 
             /// A serializability session.
             pub fn ser(kind: DataKind) -> $name {
-                $name::new(Mode::Ser, kind)
+                $name::new(IsolationLevel::Ser, kind)
             }
         }
 
         impl Checker for $name {
             fn name(&self) -> &'static str {
-                match self.mode {
-                    Mode::Si => $si_name,
-                    Mode::Ser => $ser_name,
+                match self.level {
+                    IsolationLevel::Si => $si_name,
+                    IsolationLevel::Ser => $ser_name,
+                    _ => $prefix,
                 }
             }
 
@@ -83,8 +94,11 @@ macro_rules! buffered_baseline {
             fn finish(self) -> Outcome {
                 let name = Checker::name(&self);
                 let txns = self.history.len();
-                let run: fn(Mode, &History) -> BaselineOutcome = $finish;
-                baseline_outcome(name, txns, run(self.mode, &self.history))
+                let Some(level) = level_of(self.level) else {
+                    return Outcome::unsupported(name, self.level, txns);
+                };
+                let run: fn(Level, &History) -> BaselineOutcome = $finish;
+                baseline_outcome(name, txns, run(level, &self.history))
             }
         }
     };
@@ -94,18 +108,18 @@ buffered_baseline! {
     /// An Elle (black-box dependency inference) session: buffers the
     /// stream, infers and checks at [`finish`](Checker::finish). Elle
     /// picks its register/list inference from the history kind.
-    ElleChecker, si = "elle-si", ser = "elle-ser",
-    finish = |mode, history| check_elle(history, level_of(mode))
+    ElleChecker, prefix = "elle", si = "elle-si", ser = "elle-ser",
+    finish = |level, history| check_elle(history, level)
 }
 
 buffered_baseline! {
     /// An Emme (white-box, timestamp-derived version order) session:
     /// buffers the stream, builds the full DSG and checks at
     /// [`finish`](Checker::finish).
-    EmmeChecker, si = "emme-si", ser = "emme-ser",
-    finish = |mode, history| match mode {
-        Mode::Si => check_emme_si(history),
-        Mode::Ser => check_emme_ser(history),
+    EmmeChecker, prefix = "emme", si = "emme-si", ser = "emme-ser",
+    finish = |level, history| match level {
+        Level::Si => check_emme_si(history),
+        Level::Ser => check_emme_ser(history),
     }
 }
 
@@ -135,26 +149,47 @@ mod tests {
     fn elle_and_emme_classify_write_skew() {
         // Write skew: legal under SI, an anomaly under SER — both
         // adapters must agree with their batch entry points.
-        for (si_ok, mode) in [(true, Mode::Si), (false, Mode::Ser)] {
-            let mut elle = ElleChecker::new(mode, DataKind::Kv);
-            let mut emme = EmmeChecker::new(mode, DataKind::Kv);
+        for (si_ok, level) in [(true, IsolationLevel::Si), (false, IsolationLevel::Ser)] {
+            let mut elle = ElleChecker::new(level, DataKind::Kv);
+            let mut emme = EmmeChecker::new(level, DataKind::Kv);
             for t in write_skew_history() {
                 elle.feed(t.clone(), 0);
                 emme.feed(t, 0);
             }
             let (e1, e2) = (elle.finish(), emme.finish());
-            assert_eq!(e1.is_ok(), si_ok, "elle {mode:?}: {:?}", e1.notes);
-            assert_eq!(e2.is_ok(), si_ok, "emme {mode:?}: {:?}", e2.notes);
+            assert_eq!(e1.is_ok(), si_ok, "elle {level:?}: {:?}", e1.notes);
+            assert_eq!(e2.is_ok(), si_ok, "emme {level:?}: {:?}", e2.notes);
             assert_eq!(e1.txns, 2);
             assert_eq!(e1.accepted, Some(si_ok));
         }
     }
 
     #[test]
-    fn adapter_names_follow_mode() {
+    fn adapter_names_follow_level() {
         assert_eq!(Checker::name(&ElleChecker::si(DataKind::Kv)), "elle-si");
         assert_eq!(Checker::name(&ElleChecker::ser(DataKind::Kv)), "elle-ser");
         assert_eq!(Checker::name(&EmmeChecker::si(DataKind::Kv)), "emme-si");
         assert_eq!(Checker::name(&EmmeChecker::ser(DataKind::Kv)), "emme-ser");
+    }
+
+    #[test]
+    fn unsupported_levels_get_typed_verdicts_not_si_answers() {
+        // Fed a history Elle/Emme would *accept* under SI: an RC/RA
+        // session must still refuse with `Outcome::unsupported`, never
+        // launder the SI verdict.
+        for level in [IsolationLevel::ReadCommitted, IsolationLevel::ReadAtomic] {
+            let mut elle = ElleChecker::new(level, DataKind::Kv);
+            let mut emme = EmmeChecker::new(level, DataKind::Kv);
+            for t in write_skew_history() {
+                elle.feed(t.clone(), 0);
+                emme.feed(t, 0);
+            }
+            for out in [elle.finish(), emme.finish()] {
+                assert_eq!(out.unsupported, Some(level), "{}", out.checker);
+                assert!(!out.is_ok(), "no verdict is not a pass");
+                assert_eq!(out.txns, 2, "the buffered count still reports");
+                assert!(out.report.is_ok(), "and no violations are fabricated");
+            }
+        }
     }
 }

@@ -2,9 +2,9 @@
 //! ~12K TPS sustained-throughput claim (§VI-B), plus the versioned-map
 //! substrate.
 
-use aion_online::{feed_plan, FeedConfig, Mode, OnlineChecker, VersionedMap};
+use aion_online::{feed_plan, FeedConfig, IsolationLevel, OnlineChecker, VersionedMap};
 use aion_types::{EventKey, Key, Timestamp, TxnId, Value};
-use aion_workload::{generate_history, IsolationLevel, WorkloadSpec};
+use aion_workload::{generate_history, WorkloadSpec};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_receive_throughput(c: &mut Criterion) {
@@ -17,14 +17,14 @@ fn bench_receive_throughput(c: &mut Criterion) {
     // In arrival order with realistic delays (out-of-order w.r.t. ts).
     let plan = feed_plan(&h, &FeedConfig::default());
     group.throughput(Throughput::Elements(n as u64));
-    for (label, mode) in [("si", Mode::Si), ("ser", Mode::Ser)] {
-        group.bench_with_input(BenchmarkId::new("out_of_order", label), &mode, |b, &mode| {
+    for (label, level) in [("si", IsolationLevel::Si), ("ser", IsolationLevel::Ser)] {
+        group.bench_with_input(BenchmarkId::new("out_of_order", label), &level, |b, &level| {
             b.iter(|| {
                 // Events off: measure raw checking throughput, as the
                 // paper does, without event materialization.
                 let mut ck = OnlineChecker::builder()
                     .kind(h.kind)
-                    .mode(mode)
+                    .level(level)
                     .events(false)
                     .build()
                     .expect("open session");

@@ -3,7 +3,7 @@
 //! ```text
 //! experiments <id>... [--scale N] [--out DIR]
 //! experiments all [--scale N]
-//! experiments check <path> [--format f] [--level si|ser|both] [--checker c] [--expect pass|fail]
+//! experiments check <path> [--format f] [--level rc|ra|si|ser|both|all|mixed] [--checker c] [--expect pass|fail]
 //! experiments convert <in> <out> [--from f] [--to f]
 //! experiments list
 //! ```
@@ -40,6 +40,11 @@ fn main() {
                 ctx.out = args.get(i).map(Into::into).unwrap_or_else(|| die("--out needs a path"));
             }
             "--fast" => ctx.fast = true,
+            "--level" => {
+                i += 1;
+                ctx.level =
+                    Some(args.get(i).cloned().unwrap_or_else(|| die("--level needs a value")));
+            }
             "list" => {
                 println!("available experiments:");
                 for id in ALL {

@@ -88,12 +88,13 @@ pub fn app_history(app: App, txns: usize, level: IsolationLevel, seed: u64) -> H
         };
         let sessions = 24;
         match level {
-            IsolationLevel::Si => {
-                let store = MvccStore::new(DataKind::Kv);
-                run_interleaved(&store, &templates, sessions, seed).history
-            }
             IsolationLevel::Ser => {
                 let store = TwoPlStore::new(DataKind::Kv);
+                run_interleaved(&store, &templates, sessions, seed).history
+            }
+            // SI and everything below it run the MVCC engine.
+            _ => {
+                let store = MvccStore::new(DataKind::Kv);
                 run_interleaved(&store, &templates, sessions, seed).history
             }
         }

@@ -7,7 +7,7 @@
 use super::Ctx;
 use crate::datasets::default_history;
 use crate::tables::Table;
-use aion_online::{feed_plan, run_plan, FeedConfig, FlipSummary, Mode, OnlineChecker};
+use aion_online::{feed_plan, run_plan, FeedConfig, FlipSummary, OnlineChecker};
 use aion_types::History;
 use aion_workload::{IsolationLevel, WorkloadSpec};
 
@@ -28,7 +28,7 @@ fn run_flips(h: &History, mean: f64, std: f64) -> FlipSummary {
     let plan = feed_plan(h, &cfg);
     let checker = OnlineChecker::builder()
         .kind(h.kind)
-        .mode(Mode::Si)
+        .level(IsolationLevel::Si)
         .track_flip_details(true)
         .build()
         .expect("open session");

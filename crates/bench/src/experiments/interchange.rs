@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! experiments check <path> [--format auto|jsonl|bin|dbcop|edn]
-//!                          [--level si|ser|both] [--checker aion|sharded-N|chronos|elle|emme]
+//!                          [--level rc|ra|si|ser|both|all|mixed]
+//!                          [--checker aion|sharded-N|chronos|elle|emme]
 //!                          [--kind kv|list] [--gc N] [--expect pass|fail]
 //! experiments convert <in> <out> [--from auto|...] [--to jsonl|bin|dbcop]
 //! ```
@@ -12,10 +13,16 @@
 //! reader yields one transaction at a time, so the history is never
 //! materialized — and prints one verdict line per isolation level in
 //! the same [`aion_io::verdict_of`] notation the golden corpus records.
-//! `--expect` turns the run into an assertion (CI smoke): `pass`
-//! requires every level's verdict to be `ok`, `fail` requires none to
+//! `--level mixed` opens one `LevelPolicy::PerTxn` session instead:
+//! each streamed transaction is checked at its own declared level (the
+//! `level` extension field every format carries), defaulting to SI —
+//! timestamp checkers only, since the offline baselines have no mixed
+//! model. `--expect` turns the run into an assertion (CI smoke): `pass`
+//! requires every session's verdict to be `ok`, `fail` requires none to
 //! be. `--gc N` bounds the online checker's resident transactions
 //! (spill-to-disk GC), making truly larger-than-memory runs practical.
+//! Flag parse errors list the valid labels (unit-tested below — a bare
+//! "invalid argument" helps nobody at 2 a.m.).
 //!
 //! `convert` reads leniently (anomalies pass through untouched) and
 //! rewrites; dbcop → jsonl keeps the synthesized serial timestamps, and
@@ -29,8 +36,13 @@ use aion_io::{
     Format, ReaderOptions, StreamReport,
 };
 use aion_online::{OnlineChecker, OnlineGcPolicy};
-use aion_types::{DataKind, Mode};
+use aion_types::{DataKind, IsolationLevel, LevelPolicy};
 use std::path::PathBuf;
+
+/// The level labels `--level` accepts, for error messages.
+const LEVEL_FLAGS: &str = "rc|ra|si|ser|both|all|mixed";
+/// The checker labels `--checker` accepts, for error messages.
+const CHECKER_FLAGS: &str = "aion|sharded-N|chronos|elle|emme";
 
 /// Which checker family `--checker` selected.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -43,25 +55,42 @@ enum Family {
 }
 
 impl Family {
-    fn parse(s: &str) -> Option<Family> {
+    /// Parse a `--checker` value; the error lists every valid label.
+    fn parse(s: &str) -> Result<Family, String> {
         match s {
-            "aion" => Some(Family::Aion),
-            "chronos" => Some(Family::Chronos),
-            "elle" => Some(Family::Elle),
-            "emme" => Some(Family::Emme),
+            "aion" => Ok(Family::Aion),
+            "chronos" => Ok(Family::Chronos),
+            "elle" => Ok(Family::Elle),
+            "emme" => Ok(Family::Emme),
             _ => s
                 .strip_prefix("sharded-")
                 .and_then(|n| n.parse::<usize>().ok())
                 .filter(|&n| n >= 1)
-                .map(Family::Sharded),
+                .map(Family::Sharded)
+                .ok_or_else(|| format!("unknown checker '{s}' (valid: {CHECKER_FLAGS}, N ≥ 1)")),
         }
+    }
+}
+
+/// Parse a `--level` value into the checking sessions to open; the
+/// error lists every valid label.
+fn parse_level_flag(s: &str) -> Result<Vec<LevelPolicy>, String> {
+    let uniform = |l| LevelPolicy::Uniform(l);
+    match s {
+        "both" => Ok(vec![uniform(IsolationLevel::Si), uniform(IsolationLevel::Ser)]),
+        "all" => Ok(IsolationLevel::ALL.iter().copied().map(uniform).collect()),
+        "mixed" => Ok(vec![LevelPolicy::per_txn(IsolationLevel::Si)]),
+        other => match IsolationLevel::parse(other) {
+            Some(l) => Ok(vec![uniform(l)]),
+            None => Err(format!("unknown level '{other}' (valid: {LEVEL_FLAGS})")),
+        },
     }
 }
 
 struct CheckArgs {
     path: PathBuf,
     format: Option<Format>,
-    levels: Vec<Mode>,
+    levels: Vec<LevelPolicy>,
     family: Family,
     kind_hint: Option<DataKind>,
     gc: Option<usize>,
@@ -82,7 +111,10 @@ fn parse_check_args(args: &[String]) -> CheckArgs {
     let mut parsed = CheckArgs {
         path: PathBuf::new(),
         format: None,
-        levels: vec![Mode::Si, Mode::Ser],
+        levels: vec![
+            LevelPolicy::Uniform(IsolationLevel::Si),
+            LevelPolicy::Uniform(IsolationLevel::Ser),
+        ],
         family: Family::Aion,
         kind_hint: None,
         gc: None,
@@ -102,17 +134,12 @@ fn parse_check_args(args: &[String]) -> CheckArgs {
                 }
             },
             "--level" => {
-                parsed.levels = match flag_value(args, &mut i, "--level") {
-                    "si" => vec![Mode::Si],
-                    "ser" => vec![Mode::Ser],
-                    "both" => vec![Mode::Si, Mode::Ser],
-                    other => die(&format!("unknown level '{other}' (si|ser|both)")),
-                }
+                parsed.levels = parse_level_flag(flag_value(args, &mut i, "--level"))
+                    .unwrap_or_else(|e| die(&e));
             }
             "--checker" => {
                 let v = flag_value(args, &mut i, "--checker");
-                parsed.family =
-                    Family::parse(v).unwrap_or_else(|| die(&format!("unknown checker '{v}'")));
+                parsed.family = Family::parse(v).unwrap_or_else(|e| die(&e));
             }
             "--kind" => {
                 parsed.kind_hint = Some(match flag_value(args, &mut i, "--kind") {
@@ -147,19 +174,31 @@ fn parse_check_args(args: &[String]) -> CheckArgs {
         i += 1;
     }
     parsed.path = path.unwrap_or_else(|| {
-        die("usage: experiments check <path> [--format f] [--level si|ser|both] \
-             [--checker c] [--kind kv|list] [--gc N] [--expect pass|fail]")
+        die(&format!(
+            "usage: experiments check <path> [--format f] [--level {LEVEL_FLAGS}] \
+             [--checker {CHECKER_FLAGS}] [--kind kv|list] [--gc N] [--expect pass|fail]"
+        ))
     });
     parsed
 }
 
-fn run_one(a: &CheckArgs, mode: Mode, kind: DataKind) -> StreamReport {
+fn run_one(a: &CheckArgs, policy: &LevelPolicy, kind: DataKind) -> StreamReport {
     let opts = ReaderOptions { strict: false, kind_hint: a.kind_hint };
     let mut reader = open_path(&a.path, a.format, opts)
         .unwrap_or_else(|e| die(&format!("cannot open {}: {e}", a.path.display())));
+    // The offline checkers model one fixed level; a mixed (per-txn)
+    // policy needs the streaming checkers' per-arrival dispatch.
+    let uniform = |family: &str| {
+        policy.uniform_level().unwrap_or_else(|| {
+            die(&format!(
+                "--level mixed requires a streaming timestamp checker \
+                 (aion or sharded-N); {family} checks one fixed level"
+            ))
+        })
+    };
     let report = match a.family {
         Family::Aion => {
-            let mut b = OnlineChecker::builder().kind(kind).mode(mode);
+            let mut b = OnlineChecker::builder().kind(kind).levels(policy.clone());
             if let Some(max_txns) = a.gc {
                 b = b.gc(OnlineGcPolicy::Checking { max_txns });
             }
@@ -169,7 +208,7 @@ fn run_one(a: &CheckArgs, mode: Mode, kind: DataKind) -> StreamReport {
         Family::Sharded(n) => {
             let ck = OnlineChecker::builder()
                 .kind(kind)
-                .mode(mode)
+                .levels(policy.clone())
                 .shards(n)
                 .build_sharded()
                 .unwrap_or_else(|e| die(&format!("cannot open session: {e}")));
@@ -177,10 +216,10 @@ fn run_one(a: &CheckArgs, mode: Mode, kind: DataKind) -> StreamReport {
         }
         Family::Chronos => stream_check(
             reader.as_mut(),
-            ChronosChecker::new(mode, kind, ChronosOptions::default()),
+            ChronosChecker::new(uniform("chronos"), kind, ChronosOptions::default()),
         ),
-        Family::Elle => stream_check(reader.as_mut(), ElleChecker::new(mode, kind)),
-        Family::Emme => stream_check(reader.as_mut(), EmmeChecker::new(mode, kind)),
+        Family::Elle => stream_check(reader.as_mut(), ElleChecker::new(uniform("elle"), kind)),
+        Family::Emme => stream_check(reader.as_mut(), EmmeChecker::new(uniform("emme"), kind)),
     };
     report.unwrap_or_else(|e| die(&format!("cannot read {}: {e}", a.path.display())))
 }
@@ -204,8 +243,9 @@ pub fn check_cmd(args: &[String]) {
             .unwrap_or_else(|e| die(&format!("cannot open {}: {e}", a.path.display())))
     });
     let mut mismatches = 0usize;
-    for &mode in &a.levels {
-        let report = run_one(&a, mode, kind);
+    let policies = std::mem::take(&mut a.levels);
+    for policy in &policies {
+        let report = run_one(&a, policy, kind);
         let verdict = verdict_of(&report.outcome);
         println!(
             "check {} format={format} kind={} checker={} txns={} events={} verdict={verdict}",
@@ -223,7 +263,7 @@ pub fn check_cmd(args: &[String]) {
                 eprintln!(
                     "!! {} under {}: expected {}, observed {verdict}",
                     a.path.display(),
-                    mode.label(),
+                    policy.label(),
                     if expect_pass { "pass" } else { "fail" },
                 );
                 mismatches += 1;
@@ -292,9 +332,43 @@ mod tests {
 
     #[test]
     fn family_flag_parses() {
-        assert_eq!(Family::parse("aion"), Some(Family::Aion));
-        assert_eq!(Family::parse("sharded-3"), Some(Family::Sharded(3)));
-        assert_eq!(Family::parse("sharded-0"), None);
-        assert_eq!(Family::parse("polysi"), None);
+        assert_eq!(Family::parse("aion"), Ok(Family::Aion));
+        assert_eq!(Family::parse("sharded-3"), Ok(Family::Sharded(3)));
+        assert!(Family::parse("sharded-0").is_err());
+        assert!(Family::parse("polysi").is_err());
+    }
+
+    /// Parse failures must spell out every valid label — a bare
+    /// "invalid argument" is exactly what this regressed from.
+    #[test]
+    fn parse_errors_list_the_valid_labels() {
+        let err = Family::parse("polysi").unwrap_err();
+        assert!(
+            err.contains("aion|sharded-N|chronos|elle|emme"),
+            "checker error must list the labels: {err}"
+        );
+        assert!(err.contains("polysi"), "and echo the offending value: {err}");
+
+        let err = parse_level_flag("serializable-2pl").unwrap_err();
+        assert!(
+            err.contains("rc|ra|si|ser|both|all|mixed"),
+            "level error must list the labels: {err}"
+        );
+        assert!(err.contains("serializable-2pl"), "and echo the offending value: {err}");
+    }
+
+    #[test]
+    fn level_flag_expands_to_policies() {
+        use aion_types::{IsolationLevel, LevelPolicy};
+        assert_eq!(
+            parse_level_flag("rc").unwrap(),
+            vec![LevelPolicy::Uniform(IsolationLevel::ReadCommitted)]
+        );
+        assert_eq!(parse_level_flag("both").unwrap().len(), 2);
+        assert_eq!(parse_level_flag("all").unwrap().len(), IsolationLevel::ALL.len());
+        assert_eq!(
+            parse_level_flag("mixed").unwrap(),
+            vec![LevelPolicy::per_txn(IsolationLevel::Si)]
+        );
     }
 }

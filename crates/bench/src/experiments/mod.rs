@@ -23,11 +23,14 @@ pub struct Ctx {
     pub out: PathBuf,
     /// CI mode (`--fast`): smaller histories, same cell coverage.
     pub fast: bool,
+    /// `--level` filter for level-aware experiments (conformance):
+    /// an isolation-level label or `"mixed"`; `None` runs everything.
+    pub level: Option<String>,
 }
 
 impl Default for Ctx {
     fn default() -> Self {
-        Ctx { scale: 20, out: PathBuf::from("results"), fast: false }
+        Ctx { scale: 20, out: PathBuf::from("results"), fast: false, level: None }
     }
 }
 

@@ -5,7 +5,7 @@ use crate::datasets::{app_history, cobra_history, default_history, throughput_sp
 use crate::tables::{mib, Table};
 use aion_baselines::{run_cobra_online, CobraConfig};
 use aion_core::check_ser_report;
-use aion_online::{feed_plan, run_plan, FeedConfig, Mode, OnlineChecker, OnlineGcPolicy};
+use aion_online::{feed_plan, run_plan, FeedConfig, OnlineChecker, OnlineGcPolicy};
 use aion_types::{AxiomKind, DataKind, History};
 use aion_workload::IsolationLevel;
 
@@ -33,10 +33,14 @@ fn throughput_feed(h: &History) -> Vec<aion_online::Arrival> {
     feed_plan(h, &cfg)
 }
 
-fn run_aion(h: &History, mode: Mode, gc: OnlineGcPolicy) -> (f64, Vec<u32>, usize, usize) {
+fn run_aion(
+    h: &History,
+    level: IsolationLevel,
+    gc: OnlineGcPolicy,
+) -> (f64, Vec<u32>, usize, usize) {
     let plan = throughput_feed(h);
     let checker =
-        OnlineChecker::builder().kind(h.kind).mode(mode).gc(gc).build().expect("open session");
+        OnlineChecker::builder().kind(h.kind).level(level).gc(gc).build().expect("open session");
     let r = run_plan(checker, &plan);
     (r.mean_tps(), r.throughput.clone(), r.outcome.report.len(), r.outcome.stats.spilled_txns)
 }
@@ -69,7 +73,7 @@ pub fn fig12a(ctx: &Ctx) {
     let h = default_history(&throughput_spec(n, true), IsolationLevel::Ser);
     let mut runs = Vec::new();
     for (name, gc) in gc_modes(n) {
-        let (tps, series, viol, spilled) = run_aion(&h, Mode::Ser, gc);
+        let (tps, series, viol, spilled) = run_aion(&h, IsolationLevel::Ser, gc);
         runs.push((format!("Aion-SER-{name}"), tps, series, viol, spilled));
     }
     for (fence_every, round, label) in [
@@ -103,7 +107,7 @@ pub fn fig12b(ctx: &Ctx) {
     let h = default_history(&throughput_spec(n, false), IsolationLevel::Si);
     let mut runs = Vec::new();
     for (name, gc) in gc_modes(n) {
-        let (tps, series, viol, spilled) = run_aion(&h, Mode::Si, gc);
+        let (tps, series, viol, spilled) = run_aion(&h, IsolationLevel::Si, gc);
         runs.push((format!("Aion-{name}"), tps, series, viol, spilled));
     }
     emit_throughput(ctx, "fig12b", &format!("Fig. 12b: SI checking throughput ({n} txns)"), runs);
@@ -116,7 +120,7 @@ pub fn fig12cd(ctx: &Ctx) {
     for app in [App::Rubis, App::Twitter] {
         let h = app_history(app, n, IsolationLevel::Ser, 7);
         for (name, gc) in gc_modes(n) {
-            let (tps, series, viol, spilled) = run_aion(&h, Mode::Ser, gc);
+            let (tps, series, viol, spilled) = run_aion(&h, IsolationLevel::Ser, gc);
             runs.push((format!("{}-Aion-SER-{name}", app.label()), tps, series, viol, spilled));
         }
     }
@@ -135,7 +139,7 @@ pub fn fig23(ctx: &Ctx) {
     for app in [App::Rubis, App::Twitter] {
         let h = app_history(app, n, IsolationLevel::Si, 7);
         for (name, gc) in gc_modes(n) {
-            let (tps, series, viol, spilled) = run_aion(&h, Mode::Si, gc);
+            let (tps, series, viol, spilled) = run_aion(&h, IsolationLevel::Si, gc);
             runs.push((format!("{}-Aion-{name}", app.label()), tps, series, viol, spilled));
         }
     }
@@ -187,7 +191,7 @@ pub fn fig16(ctx: &Ctx) {
     let cap = (n / 10).max(500);
     let mut checker = OnlineChecker::builder()
         .kind(h.kind)
-        .mode(Mode::Si)
+        .level(IsolationLevel::Si)
         .gc(OnlineGcPolicy::Full { max_txns: cap })
         .build()
         .expect("open session");
@@ -227,7 +231,7 @@ pub fn fig25(ctx: &Ctx) {
         &["checker", "mean TPS", "violations", "stopped early"],
     );
     for (name, gc) in gc_modes(n) {
-        let (tps, _, viol, _) = run_aion(&h, Mode::Ser, gc);
+        let (tps, _, viol, _) = run_aion(&h, IsolationLevel::Ser, gc);
         t.row(vec![format!("Aion-SER-{name}"), format!("{tps:.0}"), viol.to_string(), "no".into()]);
     }
     // Validation: CHRONOS-SER must agree on the violation count.
@@ -267,7 +271,7 @@ pub fn fig25(ctx: &Ctx) {
     t.emit(&ctx.out, "fig25");
 
     // Consistency note printed alongside (AION-SER vs CHRONOS-SER counts).
-    let (_, _, aion_viols, _) = run_aion(&h, Mode::Ser, OnlineGcPolicy::None);
+    let (_, _, aion_viols, _) = run_aion(&h, IsolationLevel::Ser, OnlineGcPolicy::None);
     println!(
         "validation: Aion-SER found {} violations, Chronos-SER found {} (EXT {}, SESSION {})",
         aion_viols,

@@ -12,7 +12,8 @@
 use super::Ctx;
 use crate::time_it;
 use aion_online::{feed_plan, run_plan, FeedConfig, OnlineChecker};
-use aion_workload::{generate_history, IsolationLevel, WorkloadSpec};
+use aion_types::LevelPolicy;
+use aion_workload::{generate_history, IsolationLevel, LevelMix, WorkloadSpec};
 use std::time::SystemTime;
 
 /// Runs measured per configuration (after one warmup); the best run is
@@ -57,6 +58,40 @@ pub fn bench_record(ctx: &Ctx) {
         }));
     }
 
+    // Per-level predicate dispatch on the single-checker hot path: the
+    // level lattice replaced the old two-way `Mode` branch with
+    // `LevelChecks` dispatch, and these rows pin that SI/SER paid
+    // nothing for it (compare `level-si` against `single` — same
+    // session, selected through the policy — and against the previous
+    // BENCH_aion.json). `level-mixed` runs a per-transaction policy
+    // over a four-way declared mix: the same stream plus per-arrival
+    // level resolution.
+    for level in IsolationLevel::ALL {
+        results.push(measure(level_config(*level), 0, || {
+            let ck = OnlineChecker::builder()
+                .kind(h.kind)
+                .level(*level)
+                .events(false)
+                .build()
+                .expect("open session");
+            run_plan(ck, &plan)
+        }));
+    }
+    let mixed_plan = {
+        let mut mixed = h.clone();
+        LevelMix::per_txn(1.0, 1.0, 1.0, 1.0).stamp(&mut mixed, 42);
+        feed_plan(&mixed, &FeedConfig::default())
+    };
+    results.push(measure("level-mixed", 0, || {
+        let ck = OnlineChecker::builder()
+            .kind(h.kind)
+            .levels(LevelPolicy::per_txn(IsolationLevel::Si))
+            .events(false)
+            .build()
+            .expect("open session");
+        run_plan(ck, &mixed_plan)
+    }));
+
     let single_tps = results[0].tps;
     let mut t = crate::tables::Table::new(
         "bench-record: checking throughput (best of 3 runs)",
@@ -75,6 +110,16 @@ pub fn bench_record(ctx: &Ctx) {
     let json = render_json(&plan.len(), &results, single_tps);
     std::fs::write("BENCH_aion.json", &json).expect("write BENCH_aion.json");
     println!("wrote BENCH_aion.json");
+}
+
+fn level_config(level: IsolationLevel) -> &'static str {
+    match level {
+        IsolationLevel::ReadCommitted => "level-rc",
+        IsolationLevel::ReadAtomic => "level-ra",
+        IsolationLevel::Si => "level-si",
+        IsolationLevel::Ser => "level-ser",
+        _ => "level",
+    }
 }
 
 fn measure(

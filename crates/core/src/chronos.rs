@@ -183,9 +183,10 @@ impl SiState {
         }
     }
 
-    /// Paper lines 2:23–2:33: process the commit event — NOCONFLICT and
-    /// frontier publication, then release per-transaction state.
-    fn process_commit(&mut self, tid: TxnId, report: &mut CheckReport) {
+    /// Paper lines 2:23–2:33: process the commit event — NOCONFLICT
+    /// (when the level activates it) and frontier publication, then
+    /// release per-transaction state.
+    fn process_commit(&mut self, tid: TxnId, noconflict: bool, report: &mut CheckReport) {
         let Some(write_set) = self.pending_writes.remove(&tid) else {
             return; // read-only, malformed, or never started
         };
@@ -196,9 +197,12 @@ impl SiState {
                 }
                 // Anyone still ongoing on this key overlaps us: NOCONFLICT.
                 // The first committer reports, so each conflicting pair is
-                // reported exactly once (paper Example 4).
-                for &other in writers.iter() {
-                    report.push(Violation::NoConflict { key, t1: tid, t2: other });
+                // reported exactly once (paper Example 4). Read Atomic
+                // shares the whole simulation but permits the overlap.
+                if noconflict {
+                    for &other in writers.iter() {
+                        report.push(Violation::NoConflict { key, t1: tid, t2: other });
+                    }
                 }
                 if writers.is_empty() {
                     self.ongoing.remove(&key);
@@ -213,6 +217,21 @@ impl SiState {
 /// transactions can be freed as soon as they are processed (the GC study of
 /// Figs. 6, 9, 10 depends on this).
 pub fn check_si_consuming(history: History, opts: &ChronosOptions) -> ChronosOutcome {
+    check_snapshot_consuming(history, opts, true)
+}
+
+/// Check a history against Read Atomic — the start-anchored snapshot
+/// simulation of [`check_si_consuming`] with NOCONFLICT disabled
+/// (concurrent writers are permitted; fractured or stale reads are not).
+pub fn check_ra_consuming(history: History, opts: &ChronosOptions) -> ChronosOutcome {
+    check_snapshot_consuming(history, opts, false)
+}
+
+fn check_snapshot_consuming(
+    history: History,
+    opts: &ChronosOptions,
+    noconflict: bool,
+) -> ChronosOutcome {
     let mut outcome = ChronosOutcome {
         txns: history.txns.len(),
         ops: history.txns.iter().map(|t| t.ops.len()).sum(),
@@ -248,7 +267,7 @@ pub fn check_si_consuming(history: History, opts: &ChronosOptions) -> ChronosOut
                 slots[idx] = None;
             }
         } else {
-            state.process_commit(ev.key.tid, &mut report);
+            state.process_commit(ev.key.tid, noconflict, &mut report);
             open_txns = open_txns.saturating_sub(1);
             commit_done[idx] = true;
             commits_since_gc += 1;
@@ -290,9 +309,20 @@ pub fn check_si(history: &History, opts: &ChronosOptions) -> ChronosOutcome {
     check_si_consuming(history.clone(), opts)
 }
 
+/// Check a history against Read Atomic by reference (see
+/// [`check_ra_consuming`]).
+pub fn check_ra(history: &History, opts: &ChronosOptions) -> ChronosOutcome {
+    check_ra_consuming(history.clone(), opts)
+}
+
 /// Convenience: check with default options and return only the report.
 pub fn check_si_report(history: &History) -> CheckReport {
     check_si(history, &ChronosOptions::default()).report
+}
+
+/// Convenience: RA-check with default options and return only the report.
+pub fn check_ra_report(history: &History) -> CheckReport {
+    check_ra(history, &ChronosOptions::default()).report
 }
 
 #[cfg(test)]

@@ -1,0 +1,345 @@
+//! CHRONOS-RC: the offline timestamp-based read-committed checker.
+//!
+//! Read committed under timestamp arbitration means every external read
+//! observes *some* committed version of its key — never a value no
+//! committed transaction produced (G1a), never an intermediate write
+//! (G1b), never a version from the reader's future — but staleness is
+//! permitted: the observation need not be the frontier. Like CHRONOS-SER
+//! the simulation processes whole transactions in commit-timestamp order
+//! (the RC anchor is the commit event; start timestamps are ignored),
+//! but instead of one rolling frontier it retains the full version chain
+//! per key, because *any* earlier version justifies a read.
+//!
+//! Within a transaction the usual `int_val` chain applies: reads after
+//! the transaction's own writes must observe the written value (INT),
+//! repeated reads must agree, and base-dependent (list-append) chains
+//! fold over the frontier base — the same convention the online
+//! checker's RC membership predicate falls back to, so online and
+//! offline RC verdicts agree (the conformance matrix asserts it).
+//!
+//! Memory is `O(total versions)` — the price of membership checking —
+//! which the per-commit GC of the other CHRONOS variants cannot
+//! reclaim; the GC options therefore only release transaction *inputs*,
+//! exactly like CHRONOS-SER's heap-scan model.
+
+use crate::gc::GcPolicy;
+use crate::report::{ChronosOutcome, StageTimings};
+use aion_types::{
+    apply, classify_mismatch, CheckReport, FxHashMap, History, Key, MismatchAxiom, Mutation, Op,
+    SessionId, Snapshot, Timestamp, Transaction, TxnId, Violation,
+};
+use std::time::Instant;
+
+/// Configuration for the RC checker (same knobs as SI/SER).
+pub type ChronosRcOptions = super::chronos::ChronosOptions;
+
+/// Check a history against read committed, consuming it.
+pub fn check_rc_consuming(history: History, opts: &ChronosRcOptions) -> ChronosOutcome {
+    let mut outcome = ChronosOutcome {
+        txns: history.txns.len(),
+        ops: history.txns.iter().map(|t| t.ops.len()).sum(),
+        ..ChronosOutcome::default()
+    };
+    let mut report = CheckReport::new();
+
+    // --- sorting stage: commit order, plus the level-independent
+    //     collection-integrity scan (duplicate ids/timestamps, Eq. 1) ----
+    let sort_start = Instant::now();
+    let kind = history.kind;
+    let mut order: Vec<u32> = (0..history.txns.len() as u32).collect();
+    order.sort_unstable_by_key(|&i| {
+        let t = &history.txns[i as usize];
+        (t.commit_ts, t.tid)
+    });
+    {
+        let mut seen: FxHashMap<TxnId, ()> = FxHashMap::default();
+        let mut stamps: Vec<(Timestamp, TxnId)> = Vec::with_capacity(history.txns.len() * 2);
+        for t in &history.txns {
+            if seen.insert(t.tid, ()).is_some() {
+                report.push(Violation::DuplicateTid { tid: t.tid });
+            }
+            if t.start_ts > t.commit_ts {
+                report.push(Violation::TimestampOrder {
+                    tid: t.tid,
+                    start_ts: t.start_ts,
+                    commit_ts: t.commit_ts,
+                });
+            }
+            stamps.push((t.start_ts, t.tid));
+            stamps.push((t.commit_ts, t.tid));
+        }
+        stamps.sort_unstable();
+        for w in stamps.windows(2) {
+            if w[0].0 == w[1].0 && w[0].1 != w[1].1 {
+                report.push(Violation::DuplicateTimestamp { ts: w[0].0, t1: w[0].1, t2: w[1].1 });
+            }
+        }
+    }
+    let sorting = sort_start.elapsed();
+
+    // --- checking stage ----------------------------------------------------
+    let check_start = Instant::now();
+    let mut gc_time = std::time::Duration::ZERO;
+    let mut slots: Vec<Option<Transaction>> = history.txns.into_iter().map(Some).collect();
+    // All committed snapshots per key, in commit order (the membership
+    // set); the last entry doubles as the frontier for expectations.
+    let mut versions: FxHashMap<Key, Vec<Snapshot>> = FxHashMap::default();
+    let mut next_sno: FxHashMap<SessionId, u32> = FxHashMap::default();
+    let mut last_cts: FxHashMap<SessionId, Timestamp> = FxHashMap::default();
+    let mut done = 0usize;
+    let mut since_gc = 0usize;
+
+    for &i in &order {
+        let idx = i as usize;
+        {
+            let t = slots[idx].as_ref().expect("transaction processed once");
+            check_one_rc(t, kind, &mut versions, &mut next_sno, &mut last_cts, &mut report);
+        }
+        done += 1;
+        since_gc += 1;
+        match opts.gc {
+            GcPolicy::Fast => slots[idx] = None,
+            GcPolicy::EveryN(n) if since_gc >= n => {
+                since_gc = 0;
+                let gc_start = Instant::now();
+                for &k in order.iter().take(done) {
+                    slots[k as usize] = None;
+                }
+                gc_time += gc_start.elapsed();
+            }
+            _ => {}
+        }
+    }
+    outcome.peak_open_txns = 1;
+
+    outcome.timings = StageTimings {
+        loading: std::time::Duration::ZERO,
+        sorting,
+        checking: check_start.elapsed() - gc_time,
+        gc: gc_time,
+    };
+    outcome.report = report;
+    outcome
+}
+
+/// Simulate one transaction atomically at its commit point under RC.
+fn check_one_rc(
+    t: &Transaction,
+    kind: aion_types::DataKind,
+    versions: &mut FxHashMap<Key, Vec<Snapshot>>,
+    next_sno: &mut FxHashMap<SessionId, u32>,
+    last_cts: &mut FxHashMap<SessionId, Timestamp>,
+    report: &mut CheckReport,
+) {
+    // SESSION: commit-ordered, like SER (start timestamps are ignored).
+    let expected = next_sno.get(&t.sid).copied().unwrap_or(0);
+    if t.sno != expected {
+        report.push(Violation::Session {
+            tid: t.tid,
+            sid: t.sid,
+            expected_sno: expected,
+            found_sno: t.sno,
+            start_ts: t.start_ts,
+            last_commit_ts: last_cts.get(&t.sid).copied().unwrap_or(Timestamp::MIN),
+        });
+    }
+    next_sno.insert(t.sid, t.sno + 1);
+    last_cts.insert(t.sid, t.commit_ts);
+
+    let frontier_of = |versions: &FxHashMap<Key, Vec<Snapshot>>, key: &Key| {
+        versions
+            .get(key)
+            .and_then(|vs| vs.last().cloned())
+            .unwrap_or_else(|| Snapshot::initial(kind))
+    };
+
+    let mut int_val: FxHashMap<Key, Snapshot> = FxHashMap::default();
+    let mut muts: FxHashMap<Key, Vec<Mutation>> = FxHashMap::default();
+    let mut write_set: Vec<(Key, Snapshot)> = Vec::new();
+
+    for (op_index, op) in t.ops.iter().enumerate() {
+        match op {
+            Op::Read { key, value } => match int_val.get(key) {
+                None => {
+                    // External read: *some* committed version (or the
+                    // initial value) must justify the observation.
+                    let initial = Snapshot::initial(kind);
+                    let ok =
+                        *value == initial || versions.get(key).is_some_and(|vs| vs.contains(value));
+                    if !ok {
+                        // Report the frontier expectation, like the
+                        // other variants — RC just accepts more.
+                        report.push(Violation::Ext {
+                            tid: t.tid,
+                            key: *key,
+                            op_index,
+                            expected: frontier_of(versions, key),
+                            observed: value.clone(),
+                        });
+                    }
+                    int_val.insert(*key, value.clone());
+                }
+                Some(cur) => {
+                    if value != cur {
+                        let axiom = classify_mismatch(muts.get(key).map_or(&[][..], |m| m), value);
+                        report.push(match axiom {
+                            MismatchAxiom::Int => Violation::Int {
+                                tid: t.tid,
+                                key: *key,
+                                op_index,
+                                expected: cur.clone(),
+                                observed: value.clone(),
+                            },
+                            MismatchAxiom::Ext => Violation::Ext {
+                                tid: t.tid,
+                                key: *key,
+                                op_index,
+                                expected: cur.clone(),
+                                observed: value.clone(),
+                            },
+                        });
+                    }
+                }
+            },
+            Op::Write { key, mutation } => {
+                // Base-dependent chains fold over the frontier base (the
+                // online RC predicate's fallback convention).
+                let base = match int_val.get(key) {
+                    Some(cur) => cur.clone(),
+                    None => frontier_of(versions, key),
+                };
+                let newv = apply(&base, mutation);
+                int_val.insert(*key, newv.clone());
+                muts.entry(*key).or_default().push(*mutation);
+                match write_set.iter_mut().find(|(k, _)| k == key) {
+                    Some((_, snap)) => *snap = newv,
+                    None => write_set.push((*key, newv)),
+                }
+            }
+        }
+    }
+    for (key, snap) in write_set {
+        versions.entry(key).or_default().push(snap);
+    }
+}
+
+/// Check a history against read committed by reference (clones
+/// internally).
+pub fn check_rc(history: &History, opts: &ChronosRcOptions) -> ChronosOutcome {
+    check_rc_consuming(history.clone(), opts)
+}
+
+/// Convenience: check with default options and return only the report.
+pub fn check_rc_report(history: &History) -> CheckReport {
+    check_rc(history, &ChronosRcOptions::default()).report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aion_types::{AxiomKind, DataKind, TxnBuilder, Value};
+
+    fn kv(txns: Vec<Transaction>) -> History {
+        History { kind: DataKind::Kv, txns }
+    }
+
+    #[test]
+    fn stale_committed_reads_pass_under_rc() {
+        // Figure 11's stale read: EXT under SI/SER, legal under RC.
+        let x = Key(1);
+        let h = kv(vec![
+            TxnBuilder::new(1).session(0, 0).interval(1, 2).put(x, Value(1)).build(),
+            TxnBuilder::new(2).session(1, 0).interval(3, 4).put(x, Value(2)).build(),
+            TxnBuilder::new(3).session(2, 0).interval(5, 6).read(x, Value(1)).build(),
+        ]);
+        assert!(check_rc(&h, &ChronosRcOptions::default()).is_ok());
+        assert!(!crate::chronos_ser::check_ser(&h, &ChronosRcOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn phantom_and_future_reads_fail_under_rc() {
+        // A value nobody committed (G1a shape).
+        let h = kv(vec![
+            TxnBuilder::new(1).session(0, 0).interval(1, 2).put(Key(1), Value(7)).build(),
+            TxnBuilder::new(2).session(1, 0).interval(3, 4).read(Key(1), Value(9)).build(),
+        ]);
+        let out = check_rc(&h, &ChronosRcOptions::default());
+        assert_eq!(out.report.count(AxiomKind::Ext), 1, "{}", out.report);
+        // A version committed after the reader (future read): the
+        // membership set at the reader's commit point does not hold it.
+        let h = kv(vec![
+            TxnBuilder::new(1).session(0, 0).interval(1, 2).read(Key(1), Value(5)).build(),
+            TxnBuilder::new(2).session(1, 0).interval(3, 4).put(Key(1), Value(5)).build(),
+        ]);
+        let out = check_rc(&h, &ChronosRcOptions::default());
+        assert_eq!(out.report.count(AxiomKind::Ext), 1, "{}", out.report);
+    }
+
+    #[test]
+    fn int_and_session_and_integrity_still_checked() {
+        let h = kv(vec![TxnBuilder::new(1)
+            .session(0, 0)
+            .interval(1, 2)
+            .put(Key(1), Value(5))
+            .read(Key(1), Value(9))
+            .build()]);
+        assert_eq!(check_rc(&h, &ChronosRcOptions::default()).report.count(AxiomKind::Int), 1);
+
+        let h = kv(vec![
+            TxnBuilder::new(1).session(0, 0).interval(1, 2).build(),
+            TxnBuilder::new(2).session(0, 2).interval(3, 4).build(), // sno gap
+        ]);
+        assert_eq!(check_rc(&h, &ChronosRcOptions::default()).report.count(AxiomKind::Session), 1);
+
+        let h = kv(vec![
+            TxnBuilder::new(1).session(0, 0).interval(1, 5).build(),
+            TxnBuilder::new(2).session(1, 0).interval(1, 7).build(), // ts collision
+        ]);
+        assert_eq!(
+            check_rc(&h, &ChronosRcOptions::default()).report.count(AxiomKind::Integrity),
+            1
+        );
+    }
+
+    #[test]
+    fn overlapping_writers_pass_under_rc() {
+        let h = kv(vec![
+            TxnBuilder::new(1).session(0, 0).interval(1, 4).put(Key(1), Value(1)).build(),
+            TxnBuilder::new(2).session(1, 0).interval(2, 5).put(Key(1), Value(2)).build(),
+            TxnBuilder::new(3).session(2, 0).interval(6, 7).read(Key(1), Value(1)).build(),
+        ]);
+        // SI: NOCONFLICT; RC: both writers fine, the stale read fine.
+        assert!(!crate::chronos::check_si(&h, &ChronosRcOptions::default()).is_ok());
+        assert!(check_rc(&h, &ChronosRcOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn gc_policies_agree_under_rc() {
+        let h = kv(vec![
+            TxnBuilder::new(1).session(0, 0).interval(1, 2).put(Key(1), Value(1)).build(),
+            TxnBuilder::new(2).session(1, 0).interval(3, 4).read(Key(1), Value(9)).build(),
+        ]);
+        let base = check_rc(&h, &ChronosRcOptions::with_gc(GcPolicy::Never)).report;
+        for gc in [GcPolicy::Fast, GcPolicy::EveryN(1)] {
+            let r = check_rc(&h, &ChronosRcOptions::with_gc(gc)).report;
+            assert_eq!(r.violations, base.violations);
+        }
+    }
+
+    #[test]
+    fn intermediate_values_are_not_members() {
+        // Writer puts 5 then 6; only 6 is a committed version. A read
+        // of 5 is a G1b intermediate read — EXT under RC.
+        let h = kv(vec![
+            TxnBuilder::new(1)
+                .session(0, 0)
+                .interval(1, 2)
+                .put(Key(1), Value(5))
+                .put(Key(1), Value(6))
+                .build(),
+            TxnBuilder::new(2).session(1, 0).interval(3, 4).read(Key(1), Value(5)).build(),
+        ]);
+        let out = check_rc(&h, &ChronosRcOptions::default());
+        assert_eq!(out.report.count(AxiomKind::Ext), 1, "{}", out.report);
+    }
+}

@@ -6,8 +6,14 @@
 //!
 //! * [`chronos::check_si`] — snapshot isolation (paper Algorithm 2),
 //!   `O(N log N + M)`;
+//! * [`chronos::check_ra`] — Read Atomic (the SI simulation with
+//!   NOCONFLICT disabled: fractured reads forbidden, concurrent
+//!   writers permitted);
 //! * [`chronos_ser::check_ser`] — serializability under commit-timestamp
 //!   arbitration (paper §VI-A);
+//! * [`chronos_rc::check_rc`] — read committed (membership over the
+//!   full per-key version chain: stale reads pass, phantom /
+//!   intermediate / future reads do not);
 //! * GC policies ([`gc::GcPolicy`]) and stage timing instrumentation
 //!   ([`report::StageTimings`]) matching the paper's runtime decomposition
 //!   experiments.
@@ -28,13 +34,18 @@
 #![warn(rust_2018_idioms)]
 
 pub mod chronos;
+pub mod chronos_rc;
 pub mod chronos_ser;
 pub mod event;
 pub mod gc;
 pub mod report;
 pub mod session;
 
-pub use chronos::{check_si, check_si_consuming, check_si_report, ChronosOptions};
+pub use chronos::{
+    check_ra, check_ra_consuming, check_ra_report, check_si, check_si_consuming, check_si_report,
+    ChronosOptions,
+};
+pub use chronos_rc::{check_rc, check_rc_consuming, check_rc_report, ChronosRcOptions};
 pub use chronos_ser::{check_ser, check_ser_consuming, check_ser_report, ChronosSerOptions};
 pub use gc::GcPolicy;
 pub use report::{ChronosOutcome, StageTimings};

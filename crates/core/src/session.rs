@@ -13,19 +13,22 @@
 //! [`check_ser`]: crate::chronos_ser::check_ser
 //! [`ChronosOutcome`]: crate::report::ChronosOutcome
 
-use crate::chronos::{check_si_consuming, ChronosOptions};
+use crate::chronos::{check_ra_consuming, check_si_consuming, ChronosOptions};
+use crate::chronos_rc::check_rc_consuming;
 use crate::chronos_ser::check_ser_consuming;
-use aion_types::check::{CheckEvent, Checker, Mode, Outcome};
-use aion_types::{DataKind, History, Transaction};
+use aion_types::check::{CheckEvent, Checker, Outcome};
+use aion_types::{DataKind, History, IsolationLevel, Transaction};
 
 /// An offline CHRONOS checking session: buffers the stream, checks at
-/// [`finish`](Checker::finish).
+/// [`finish`](Checker::finish) against any built-in [`IsolationLevel`]
+/// (RC, RA, SI, SER — each dispatching to its batch twin).
 ///
 /// ```
 /// use aion_core::{ChronosChecker, ChronosOptions};
-/// use aion_types::{Checker, DataKind, Key, Mode, TxnBuilder, Value};
+/// use aion_types::{Checker, DataKind, IsolationLevel, Key, TxnBuilder, Value};
 ///
-/// let mut session = ChronosChecker::new(Mode::Si, DataKind::Kv, ChronosOptions::default());
+/// let mut session =
+///     ChronosChecker::new(IsolationLevel::Si, DataKind::Kv, ChronosOptions::default());
 /// session.feed(
 ///     TxnBuilder::new(1).session(0, 0).interval(1, 2).put(Key(1), Value(7)).build(), 0);
 /// session.feed(
@@ -35,25 +38,35 @@ use aion_types::{DataKind, History, Transaction};
 /// assert_eq!(outcome.checker, "chronos-si");
 /// ```
 pub struct ChronosChecker {
-    mode: Mode,
+    level: IsolationLevel,
     opts: ChronosOptions,
     history: History,
 }
 
 impl ChronosChecker {
-    /// A session checking `mode` over `kind`-typed data.
-    pub fn new(mode: Mode, kind: DataKind, opts: ChronosOptions) -> ChronosChecker {
-        ChronosChecker { mode, opts, history: History::new(kind) }
+    /// A session checking `level` over `kind`-typed data.
+    pub fn new(level: IsolationLevel, kind: DataKind, opts: ChronosOptions) -> ChronosChecker {
+        ChronosChecker { level, opts, history: History::new(kind) }
+    }
+
+    /// A read-committed session with default options.
+    pub fn rc(kind: DataKind) -> ChronosChecker {
+        ChronosChecker::new(IsolationLevel::ReadCommitted, kind, ChronosOptions::default())
+    }
+
+    /// A read-atomic session with default options.
+    pub fn ra(kind: DataKind) -> ChronosChecker {
+        ChronosChecker::new(IsolationLevel::ReadAtomic, kind, ChronosOptions::default())
     }
 
     /// A snapshot-isolation session with default options.
     pub fn si(kind: DataKind) -> ChronosChecker {
-        ChronosChecker::new(Mode::Si, kind, ChronosOptions::default())
+        ChronosChecker::new(IsolationLevel::Si, kind, ChronosOptions::default())
     }
 
     /// A serializability session with default options.
     pub fn ser(kind: DataKind) -> ChronosChecker {
-        ChronosChecker::new(Mode::Ser, kind, ChronosOptions::default())
+        ChronosChecker::new(IsolationLevel::Ser, kind, ChronosOptions::default())
     }
 
     /// Transactions buffered so far.
@@ -64,9 +77,12 @@ impl ChronosChecker {
 
 impl Checker for ChronosChecker {
     fn name(&self) -> &'static str {
-        match self.mode {
-            Mode::Si => "chronos-si",
-            Mode::Ser => "chronos-ser",
+        match self.level {
+            IsolationLevel::ReadCommitted => "chronos-rc",
+            IsolationLevel::ReadAtomic => "chronos-ra",
+            IsolationLevel::Si => "chronos-si",
+            IsolationLevel::Ser => "chronos-ser",
+            _ => "chronos",
         }
     }
 
@@ -81,9 +97,14 @@ impl Checker for ChronosChecker {
 
     fn finish(self) -> Outcome {
         let name = self.name();
-        let out = match self.mode {
-            Mode::Si => check_si_consuming(self.history, &self.opts),
-            Mode::Ser => check_ser_consuming(self.history, &self.opts),
+        let out = match self.level {
+            IsolationLevel::ReadCommitted => check_rc_consuming(self.history, &self.opts),
+            IsolationLevel::ReadAtomic => check_ra_consuming(self.history, &self.opts),
+            IsolationLevel::Si => check_si_consuming(self.history, &self.opts),
+            IsolationLevel::Ser => check_ser_consuming(self.history, &self.opts),
+            // A level added to the lattice without a CHRONOS twin yet:
+            // a typed refusal, never a silently-wrong verdict.
+            level => return Outcome::unsupported(name, level, self.history.len()),
         };
         Outcome::new(name, out.report, out.txns)
     }

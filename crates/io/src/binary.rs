@@ -1,12 +1,15 @@
-//! Streaming reader/writer for the compact AIONH1 binary format.
+//! Streaming reader/writer for the compact AIONH1/AIONH2 binary format.
 //!
 //! The byte layout is defined by [`aion_types::codec`] (magic header,
 //! LEB128 varints, tagged ops) and shared with the online checker's
 //! spill files; writing delegates to the codec so the two can never
-//! drift. Reading is reimplemented here over any [`BufRead`] so a
-//! multi-gigabyte file decodes one transaction at a time instead of
-//! being slurped into a `Buf` first; the `binary_stream_decodes_exactly_
-//! like_codec` test pins the two decoders together.
+//! drift. Histories whose transactions declare isolation levels are
+//! written under the `AIONH2` magic (one level byte per transaction);
+//! level-free histories keep the byte-stable `AIONH1` layout. Reading is
+//! reimplemented here over any [`BufRead`] so a multi-gigabyte file
+//! decodes one transaction at a time instead of being slurped into a
+//! `Buf` first; the `binary_stream_decodes_exactly_like_codec` test pins
+//! the two decoders together.
 
 use crate::reader::{HistoryReader, ReaderOptions};
 use crate::{Format, IoFormatError};
@@ -16,8 +19,10 @@ use aion_types::{
 };
 use std::io::{BufRead, Write};
 
-/// The magic header bytes (`b"AIONH1"`).
+/// The level-free magic header bytes (`b"AIONH1"`).
 pub const MAGIC: &[u8; 6] = b"AIONH1";
+/// The level-carrying magic header bytes (`b"AIONH2"`).
+pub const MAGIC_V2: &[u8; 6] = b"AIONH2";
 
 /// Write a whole history in the binary format.
 pub fn write_binary(h: &History, w: &mut dyn Write) -> Result<(), IoFormatError> {
@@ -30,6 +35,8 @@ pub fn write_binary(h: &History, w: &mut dyn Write) -> Result<(), IoFormatError>
 pub struct BinaryReader<R: BufRead> {
     r: R,
     kind: DataKind,
+    /// True for `AIONH2` streams (each transaction carries a level byte).
+    ext: bool,
     /// Transactions still to decode (from the count prefix).
     remaining: u64,
     /// Bytes consumed so far (error offsets).
@@ -46,15 +53,20 @@ impl<R: BufRead> BinaryReader<R> {
             format: Format::Binary,
             msg: "input shorter than the magic header".into(),
         })?;
-        if &magic != MAGIC {
-            return Err(IoFormatError::BadHeader {
-                format: Format::Binary,
-                msg: format!("magic is {magic:02x?}, expected {MAGIC:02x?}"),
-            });
-        }
+        let ext = match &magic {
+            m if m == MAGIC => false,
+            m if m == MAGIC_V2 => true,
+            _ => {
+                return Err(IoFormatError::BadHeader {
+                    format: Format::Binary,
+                    msg: format!("magic is {magic:02x?}, expected {MAGIC:02x?} or {MAGIC_V2:02x?}"),
+                })
+            }
+        };
         let mut me = BinaryReader {
             r,
             kind: DataKind::Kv,
+            ext,
             remaining: 0,
             offset: 6,
             opts,
@@ -135,6 +147,12 @@ impl<R: BufRead> BinaryReader<R> {
         let sno = self.read_varint_u32("sno")?;
         let start_ts = Timestamp(self.read_varint()?);
         let commit_ts = Timestamp(self.read_varint()?);
+        let level = if self.ext {
+            let b = self.read_u8()?;
+            codec::level_from_byte(b).map_err(|_| self.err(format!("unknown level byte {b}")))?
+        } else {
+            None
+        };
         let nops = self.read_varint()? as usize;
         let mut ops = Vec::with_capacity(nops.min(1 << 20));
         for _ in 0..nops {
@@ -143,7 +161,15 @@ impl<R: BufRead> BinaryReader<R> {
         if self.opts.strict && !self.seen_tids.insert(tid) {
             return Err(IoFormatError::DuplicateTid { tid: TxnId(tid) });
         }
-        Ok(Transaction { tid: TxnId(tid), sid: SessionId(sid), sno, start_ts, commit_ts, ops })
+        Ok(Transaction {
+            tid: TxnId(tid),
+            sid: SessionId(sid),
+            sno,
+            start_ts,
+            commit_ts,
+            ops,
+            level,
+        })
     }
 }
 

@@ -33,8 +33,8 @@ use crate::json::{escape_str, parse_value, parse_value_from, JsonLexer, JsonToke
 use crate::reader::{HistoryReader, ReaderOptions};
 use crate::{Format, IoFormatError};
 use aion_types::{
-    DataKind, FxHashSet, History, Key, Mutation, Op, SessionId, Timestamp, Transaction, TxnId,
-    Value,
+    DataKind, FxHashSet, History, IsolationLevel, Key, Mutation, Op, SessionId, Timestamp,
+    Transaction, TxnId, Value,
 };
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
@@ -110,9 +110,16 @@ pub fn write_dbcop(h: &History, w: &mut dyn Write) -> Result<(), IoFormatError> 
                     }
                 }
             }
+            // The optional "level" key is emitted only for declared
+            // transactions, so level-free exports stay byte-identical
+            // to the pre-lattice writer.
+            let level = match t.level {
+                Some(l) => format!(", \"level\": \"{}\"", l.label()),
+                None => String::new(),
+            };
             line.push_str(&format!(
                 "], \"committed\": true, \"aion\": {{\"tid\": {}, \"sid\": {}, \"sno\": {}, \
-                 \"start\": {}, \"commit\": {}, \"at\": {at}}}}}",
+                 \"start\": {}, \"commit\": {}, \"at\": {at}{level}}}}}",
                 t.tid.0, t.sid.0, t.sno, t.start_ts.0, t.commit_ts.0
             ));
             if ti + 1 < txns.len() {
@@ -295,6 +302,15 @@ impl<R: BufRead> DbcopReader<R> {
                     .map_err(|_| err(&self.lx, &format!("\"aion\" field \"{name}\" exceeds u32")))
             };
             self.last_order = Some(field("at")?);
+            let level = match ext.get("level") {
+                None => None,
+                Some(JsonValue::Str(label)) => {
+                    Some(IsolationLevel::parse(label).ok_or_else(|| {
+                        err(&self.lx, &format!("unknown \"aion\" level \"{label}\""))
+                    })?)
+                }
+                Some(_) => return Err(err(&self.lx, "\"aion\" field \"level\" is not a string")),
+            };
             Transaction {
                 tid: TxnId(field("tid")?),
                 sid: SessionId(field_u32("sid")?),
@@ -302,6 +318,7 @@ impl<R: BufRead> DbcopReader<R> {
                 start_ts: Timestamp(field("start")?),
                 commit_ts: Timestamp(field("commit")?),
                 ops,
+                level,
             }
         } else {
             let g = self.yielded;
@@ -313,6 +330,7 @@ impl<R: BufRead> DbcopReader<R> {
                 start_ts: Timestamp(2 * g + 1),
                 commit_ts: Timestamp(2 * g + 2),
                 ops,
+                level: None,
             }
         };
         if self.opts.strict && !self.seen_tids.insert(txn.tid.0) {

@@ -24,7 +24,10 @@
 //!   like the dbcop reader — unless the entry carries this crate's
 //!   extension keys `:tid`, `:sno`, `:start-ts` and `:commit-ts`, which
 //!   the golden-corpus exporter emits so anomaly timestamps survive the
-//!   trip. Mixing extended and bare entries is a syntax error.
+//!   trip. Mixing extended and bare entries is a syntax error. An
+//!   entry may additionally carry `:level :rc|:ra|:si|:ser` — the
+//!   transaction's declared isolation level for mixed-level checking —
+//!   with or without the timestamp extension keys.
 //!
 //! There is no EDN writer: the format is an *ingestion* bridge (point
 //! AION at a Jepsen/Elle op log); conversions out of the workspace go
@@ -39,7 +42,8 @@ use crate::reader::{HistoryReader, ReaderOptions};
 use crate::{Format, IoFormatError};
 use aion_types::fxhash::FxHasher;
 use aion_types::{
-    DataKind, FxHashMap, FxHashSet, Key, Op, SessionId, Timestamp, Transaction, TxnId, Value,
+    DataKind, FxHashMap, FxHashSet, IsolationLevel, Key, Op, SessionId, Timestamp, Transaction,
+    TxnId, Value,
 };
 use std::hash::Hasher;
 use std::io::BufRead;
@@ -409,11 +413,30 @@ impl<R: BufRead> EdnReader<R> {
             *e = e.saturating_add(1);
             (Timestamp(2 * g + 1), Timestamp(2 * g + 2), g + 1, sno)
         };
+        // `:level` is orthogonal to the timestamp extension: a bare
+        // Jepsen log annotated with per-op levels is still streamable.
+        let level = match entry.get("level") {
+            None => None,
+            Some(Edn::Keyword(label)) | Some(Edn::Symbol(label)) | Some(Edn::Str(label)) => {
+                Some(IsolationLevel::parse(label).ok_or_else(|| {
+                    self.lx.err(format!("unknown :level :{label} (rc|ra|si|ser)"))
+                })?)
+            }
+            Some(_) => return Err(self.lx.err(":level is not a keyword")),
+        };
         if self.opts.strict && !self.seen_tids.insert(tid) {
             return Err(IoFormatError::DuplicateTid { tid: TxnId(tid) });
         }
         self.yielded += 1;
-        Ok(Transaction { tid: TxnId(tid), sid: SessionId(sid), sno, start_ts, commit_ts, ops })
+        Ok(Transaction {
+            tid: TxnId(tid),
+            sid: SessionId(sid),
+            sno,
+            start_ts,
+            commit_ts,
+            ops,
+            level,
+        })
     }
 
     fn op_from_micro(&mut self, mop: &Edn) -> Result<Op, IoFormatError> {

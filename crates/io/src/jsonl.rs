@@ -11,17 +11,21 @@
 //! ```
 //!
 //! Operations are `[tag, key, value]` triples: `"r"` scalar read, `"rl"`
-//! list read (value is an array), `"w"` put, `"a"` append. Unknown
-//! header fields are ignored (forward compatibility); an unknown header
-//! `version` is a typed [`IoFormatError::UnsupportedVersion`]. See
-//! `docs/formats.md` for the full field table.
+//! list read (value is an array), `"w"` put, `"a"` append. A transaction
+//! that declared an isolation level carries an optional
+//! `"level":"rc"|"ra"|"si"|"ser"` field (mixed-level checking); readers
+//! that predate the lattice ignore it, and level-free transactions emit
+//! byte-identical lines to the pre-lattice writer. Unknown header fields
+//! are ignored (forward compatibility); an unknown header `version` is a
+//! typed [`IoFormatError::UnsupportedVersion`]. See `docs/formats.md`
+//! for the full field table.
 
 use crate::json::JsonValue;
 use crate::reader::{HistoryReader, ReaderOptions};
 use crate::{Format, IoFormatError};
 use aion_types::{
-    DataKind, FxHashSet, History, Key, Op, SessionId, Snapshot, Timestamp, Transaction, TxnId,
-    Value,
+    DataKind, FxHashSet, History, IsolationLevel, Key, Op, SessionId, Snapshot, Timestamp,
+    Transaction, TxnId, Value,
 };
 use std::io::{BufRead, Write};
 
@@ -48,9 +52,13 @@ pub fn txn_line(t: &Transaction) -> String {
     let mut out = String::with_capacity(64 + t.ops.len() * 12);
     let _ = write!(
         out,
-        r#"{{"tid":{},"sid":{},"sno":{},"start":{},"commit":{},"ops":["#,
+        r#"{{"tid":{},"sid":{},"sno":{},"start":{},"commit":{},"#,
         t.tid.0, t.sid.0, t.sno, t.start_ts.0, t.commit_ts.0
     );
+    if let Some(level) = t.level {
+        let _ = write!(out, r#""level":"{}","#, level.label());
+    }
+    out.push_str(r#""ops":["#);
     for (i, op) in t.ops.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -208,6 +216,15 @@ impl<R: BufRead> JsonlReader<R> {
         }
         let start = int_field("start")?;
         let commit = int_field("commit")?;
+        let level = match v.get("level") {
+            None => None,
+            Some(l) => {
+                let label = l.as_str().ok_or_else(|| self.err("\"level\" is not a string"))?;
+                Some(IsolationLevel::parse(label).ok_or_else(|| {
+                    self.err(format!("unknown \"level\" \"{label}\" (rc|ra|si|ser)"))
+                })?)
+            }
+        };
         let ops_v = v
             .get("ops")
             .and_then(JsonValue::as_arr)
@@ -226,6 +243,7 @@ impl<R: BufRead> JsonlReader<R> {
             start_ts: Timestamp(start),
             commit_ts: Timestamp(commit),
             ops,
+            level,
         })
     }
 

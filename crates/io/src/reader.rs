@@ -62,7 +62,7 @@ impl Format {
     /// JSON document is JSONL when its first line is the
     /// `"aion-history"` header and dbcop otherwise.
     pub fn sniff(prefix: &[u8]) -> Option<Format> {
-        if prefix.starts_with(binary::MAGIC) {
+        if prefix.starts_with(binary::MAGIC) || prefix.starts_with(binary::MAGIC_V2) {
             return Some(Format::Binary);
         }
         let mut it = prefix.iter().copied().filter(|b| !b.is_ascii_whitespace());

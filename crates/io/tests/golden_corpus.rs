@@ -30,8 +30,10 @@ use aion_io::json::JsonValue;
 use aion_io::{open_path, stream_check, verdict_of, Format, ReaderOptions};
 use aion_online::OnlineChecker;
 use aion_storage::{Anomaly, Expected};
-use aion_types::{DataKind, History, Key, Mode, Op, Snapshot, TxnBuilder, Value};
-use aion_workload::{generate_history, IsolationLevel, WorkloadSpec};
+use aion_types::{
+    DataKind, History, IsolationLevel, Key, LevelPolicy, Op, Snapshot, TxnBuilder, Value,
+};
+use aion_workload::{generate_history, WorkloadSpec};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -97,6 +99,18 @@ fn serial_history() -> History {
     h
 }
 
+/// The serial cross-level history with declared per-transaction levels
+/// cycling RC → RA → SI → SER: valid at every level (it is serial), so
+/// under a `PerTxn` policy every checker must accept — the
+/// mixed-level smoke fixture of every format.
+fn mixed_level_history() -> History {
+    let mut h = serial_history();
+    for (i, t) in h.txns.iter_mut().enumerate() {
+        t.level = Some(IsolationLevel::ALL[i % IsolationLevel::ALL.len()]);
+    }
+    h
+}
+
 /// Inject `anomaly` into a copy of `base`, probing seeds until at least
 /// one instance plants (deterministic: first hit wins).
 fn injected(base: &History, anomaly: Anomaly) -> (History, usize) {
@@ -127,6 +141,12 @@ fn fixtures() -> Vec<Fixture> {
         },
         Fixture { name: "valid_kv_si".into(), anomaly: None, planted: 0, history: si.clone() },
         Fixture { name: "valid_kv_ser".into(), anomaly: None, planted: 0, history: ser.clone() },
+        Fixture {
+            name: "valid_mixed".into(),
+            anomaly: None,
+            planted: 0,
+            history: mixed_level_history(),
+        },
         Fixture {
             name: "valid_list_si".into(),
             anomaly: None,
@@ -212,9 +232,13 @@ fn edn_of(h: &History) -> Vec<u8> {
     for t in &h.txns {
         let _ = write!(
             out,
-            "{{:type :ok, :process {}, :sno {}, :tid {}, :start-ts {}, :commit-ts {}, :value [",
+            "{{:type :ok, :process {}, :sno {}, :tid {}, :start-ts {}, :commit-ts {}",
             t.sid.0, t.sno, t.tid.0, t.start_ts.0, t.commit_ts.0
         );
+        if let Some(level) = t.level {
+            let _ = write!(out, ", :level :{}", level.label());
+        }
+        out.push_str(", :value [");
         for (i, op) in t.ops.iter().enumerate() {
             if i > 0 {
                 out.push(' ');
@@ -261,7 +285,7 @@ fn serialize(h: &History, format: Format) -> Vec<u8> {
 
 // ------------------------------------------------------------- replays
 
-fn replay(path: &Path, mode: Mode, family: &str) -> aion_io::StreamReport {
+fn replay(path: &Path, level: IsolationLevel, family: &str) -> aion_io::StreamReport {
     let opts = ReaderOptions::default();
     let mut reader =
         open_path(path, None, opts).unwrap_or_else(|e| panic!("open {}: {e}", path.display()));
@@ -269,23 +293,23 @@ fn replay(path: &Path, mode: Mode, family: &str) -> aion_io::StreamReport {
     let report = match family {
         "aion" => stream_check(
             reader.as_mut(),
-            OnlineChecker::builder().kind(kind).mode(mode).build().expect("session"),
+            OnlineChecker::builder().kind(kind).level(level).build().expect("session"),
         ),
         "sharded-2" => stream_check(
             reader.as_mut(),
             OnlineChecker::builder()
                 .kind(kind)
-                .mode(mode)
+                .level(level)
                 .shards(2)
                 .build_sharded()
                 .expect("session"),
         ),
         "chronos" => stream_check(
             reader.as_mut(),
-            ChronosChecker::new(mode, kind, ChronosOptions::default()),
+            ChronosChecker::new(level, kind, ChronosOptions::default()),
         ),
-        "elle" => stream_check(reader.as_mut(), ElleChecker::new(mode, kind)),
-        "emme" => stream_check(reader.as_mut(), EmmeChecker::new(mode, kind)),
+        "elle" => stream_check(reader.as_mut(), ElleChecker::new(level, kind)),
+        "emme" => stream_check(reader.as_mut(), EmmeChecker::new(level, kind)),
         other => panic!("unknown family {other}"),
     };
     report.unwrap_or_else(|e| panic!("replay {} via {family}: {e}", path.display()))
@@ -307,10 +331,10 @@ fn compute_manifest(files: &[(String, DataKind, Option<Anomaly>, usize)]) -> Str
         };
         let mut txns = 0usize;
         let mut levels = String::new();
-        for (li, mode) in [Mode::Si, Mode::Ser].into_iter().enumerate() {
+        for (li, level) in [IsolationLevel::Si, IsolationLevel::Ser].into_iter().enumerate() {
             let mut cells = String::new();
             for (ci, family) in CHECKERS.iter().enumerate() {
-                let report = replay(&path, mode, family);
+                let report = replay(&path, level, family);
                 txns = report.txns;
                 let _ = write!(
                     cells,
@@ -322,7 +346,7 @@ fn compute_manifest(files: &[(String, DataKind, Option<Anomaly>, usize)]) -> Str
             let _ = writeln!(
                 levels,
                 "      \"{}\": {{{cells}}}{}",
-                mode.label(),
+                level.label(),
                 if li == 0 { "," } else { "" }
             );
         }
@@ -434,26 +458,26 @@ fn golden_corpus_is_current_and_verdicts_hold() {
         let Some(anomaly) = f.anomaly else { continue };
         assert!(f.planted > 0, "{}: nothing planted", f.name);
         let path = dir.join(format!("{}.jsonl", f.name));
-        let (mode, expected) = if f.name.ends_with("_ser") {
-            (Mode::Ser, anomaly.profile().ser)
+        let (level, expected) = if f.name.ends_with("_ser") {
+            (IsolationLevel::Ser, anomaly.profile().ser)
         } else {
-            (Mode::Si, anomaly.profile().si)
+            (IsolationLevel::Si, anomaly.profile().si)
         };
         for family in ["aion", "sharded-2", "chronos"] {
-            let report = replay(&path, mode, family);
+            let report = replay(&path, level, family);
             match expected {
                 Expected::Detect(kind) => assert!(
                     report.outcome.report.count(kind) > 0,
                     "{} / {} / {family}: profile demands {kind}, verdict was {}",
                     f.name,
-                    mode.label(),
+                    level.label(),
                     verdict_of(&report.outcome)
                 ),
                 Expected::Accept => assert!(
                     report.outcome.is_ok(),
                     "{} / {} / {family}: profile demands accept, verdict was {}",
                     f.name,
-                    mode.label(),
+                    level.label(),
                     verdict_of(&report.outcome)
                 ),
             }
@@ -481,34 +505,83 @@ fn golden_corpus_is_current_and_verdicts_hold() {
 fn valid_fixtures_pass_their_level() {
     let dir = corpus_dir();
     for (file, modes) in [
-        ("valid_serial.jsonl", &[Mode::Si, Mode::Ser][..]),
-        ("valid_serial.dbcop.json", &[Mode::Si, Mode::Ser][..]),
-        ("valid_serial.edn", &[Mode::Si, Mode::Ser][..]),
-        ("valid_serial.bin", &[Mode::Si, Mode::Ser][..]),
-        ("valid_kv_si.jsonl", &[Mode::Si][..]),
-        ("valid_kv_ser.bin", &[Mode::Ser][..]),
-        ("valid_list_si.edn", &[Mode::Si][..]),
-        ("foreign_elle.edn", &[Mode::Si, Mode::Ser][..]),
+        ("valid_serial.jsonl", &[IsolationLevel::Si, IsolationLevel::Ser][..]),
+        ("valid_serial.dbcop.json", &[IsolationLevel::Si, IsolationLevel::Ser][..]),
+        ("valid_serial.edn", &[IsolationLevel::Si, IsolationLevel::Ser][..]),
+        ("valid_serial.bin", &[IsolationLevel::Si, IsolationLevel::Ser][..]),
+        ("valid_mixed.jsonl", &[IsolationLevel::Si, IsolationLevel::Ser][..]),
+        ("valid_kv_si.jsonl", &[IsolationLevel::Si][..]),
+        ("valid_kv_ser.bin", &[IsolationLevel::Ser][..]),
+        ("valid_list_si.edn", &[IsolationLevel::Si][..]),
+        ("foreign_elle.edn", &[IsolationLevel::Si, IsolationLevel::Ser][..]),
     ] {
         let path = dir.join(file);
         if !path.exists() {
             panic!("{file} missing — run UPDATE_CORPUS=1 first");
         }
-        for &mode in modes {
-            let report = replay(&path, mode, "aion");
+        for &level in modes {
+            let report = replay(&path, level, "aion");
             assert!(
                 report.outcome.is_ok(),
                 "{file} under {}: {}",
-                mode.label(),
+                level.label(),
                 report.outcome.report
             );
         }
     }
     // And the foreign lost-update example must *fail* both levels: its
     // synthesized serial order exposes the stale read.
-    for mode in [Mode::Si, Mode::Ser] {
-        let report = replay(&dir.join("foreign_lost_update.dbcop.json"), mode, "aion");
-        assert!(!report.outcome.is_ok(), "lost update must be detected under {}", mode.label());
+    for level in [IsolationLevel::Si, IsolationLevel::Ser] {
+        let report = replay(&dir.join("foreign_lost_update.dbcop.json"), level, "aion");
+        assert!(!report.outcome.is_ok(), "lost update must be detected under {}", level.label());
         assert!(report.outcome.report.count(aion_types::AxiomKind::Ext) > 0);
+    }
+}
+
+/// The acceptance anchor for mixed-level checking: the `valid_mixed`
+/// fixture (RC+RA+SI+SER declarations in one session stream) flows
+/// file → `aion_io` reader → `OnlineChecker` *and* `ShardedChecker`
+/// under `LevelPolicy::PerTxn`, in every format, and (a) the declared
+/// levels survive each format losslessly, (b) both checkers accept,
+/// (c) both produce identical reports and counters.
+#[test]
+fn mixed_fixture_streams_with_per_txn_levels() {
+    let dir = corpus_dir();
+    let canonical = mixed_level_history();
+    for file in
+        ["valid_mixed.jsonl", "valid_mixed.bin", "valid_mixed.dbcop.json", "valid_mixed.edn"]
+    {
+        let path = dir.join(file);
+        if !path.exists() {
+            panic!("{file} missing — run UPDATE_CORPUS=1 first");
+        }
+        // (a) lossless: every format carries the declarations.
+        let reader = open_path(&path, None, ReaderOptions::default())
+            .unwrap_or_else(|e| panic!("open {file}: {e}"));
+        let h = aion_io::read_history_from(reader).unwrap();
+        assert_eq!(h, canonical, "{file} must round-trip the declared levels");
+        assert!(h.txns.iter().all(|t| t.level.is_some()), "{file} lost declarations");
+
+        // (b) + (c): single and sharded per-txn sessions agree and pass.
+        let policy = LevelPolicy::per_txn(IsolationLevel::Si);
+        let mut single_reader = open_path(&path, None, ReaderOptions::default()).unwrap();
+        let single = stream_check(
+            single_reader.as_mut(),
+            OnlineChecker::builder().levels(policy.clone()).build().expect("session"),
+        )
+        .unwrap();
+        let mut sharded_reader = open_path(&path, None, ReaderOptions::default()).unwrap();
+        let sharded = stream_check(
+            sharded_reader.as_mut(),
+            OnlineChecker::builder().levels(policy).shards(2).build_sharded().expect("session"),
+        )
+        .unwrap();
+        assert_eq!(single.outcome.checker, "aion-mixed");
+        assert_eq!(sharded.outcome.checker, "aion-mixed-sharded");
+        assert!(single.outcome.is_ok(), "{file}: {}", single.outcome.report);
+        assert!(sharded.outcome.is_ok(), "{file}: {}", sharded.outcome.report);
+        assert_eq!(single.outcome.report.violations, sharded.outcome.report.violations);
+        assert_eq!(single.txns, sharded.txns);
+        assert_eq!(single.outcome.stats.finalized, sharded.outcome.stats.finalized);
     }
 }

@@ -18,24 +18,34 @@
 //! "flip-flops" of §VI-C, tracked by [`crate::stats::FlipTracker`]. Memory
 //! is bounded by spill-to-disk GC ([`crate::spill`]).
 //!
-//! One implementation serves both isolation levels: under [`Mode::Si`]
-//! reads anchor at the start event and NOCONFLICT is checked; under
-//! [`Mode::Ser`] (AION-SER) reads anchor at the commit event, start
-//! timestamps are ignored, and NOCONFLICT is skipped (paper §VI-A).
+//! One implementation serves the whole isolation-level lattice: every
+//! arrival is checked against *its* resolved [`IsolationLevel`] (the
+//! session's [`LevelPolicy`] — uniform, per-session, or the
+//! transaction's own declaration), dispatching on the level's
+//! [`LevelChecks`](aion_types::LevelChecks) predicate set. Under SI
+//! reads anchor at the start event and NOCONFLICT is checked; under SER
+//! (AION-SER) reads anchor at the commit event, start timestamps are
+//! ignored, and NOCONFLICT is skipped (paper §VI-A); RA is SI without
+//! NOCONFLICT; RC anchors at the commit event and only requires reads
+//! to observe *some* committed version at the anchor — a monotone
+//! predicate under asynchrony (late arrivals can only justify a
+//! tentatively-wrong RC read, never invalidate a right one).
 
 use crate::index::{KeyEventIndex, OngoingIndex, ReadRef};
 use crate::spill::{SpillEntry, SpillStore};
 use crate::stats::{AionStats, FlipTracker};
 use aion_types::{
-    classify_mismatch, expected_read, CheckEvent, CheckReport, Checker, DataKind, EventKey,
-    FxHashMap, FxHashSet, Key, MismatchAxiom, Mutation, Op, Outcome, SessionId, ShardConfig,
-    Snapshot, Timestamp, Transaction, TxnId, Violation,
+    base_independent, classify_mismatch, expected_read, CheckEvent, CheckReport, Checker, DataKind,
+    EventKey, ExtPredicate, FxHashMap, FxHashSet, IsolationLevel, Key, LevelPolicy, MismatchAxiom,
+    Mutation, Op, Outcome, ReadAnchor, SessionId, SessionPredicate, ShardConfig, Snapshot,
+    Timestamp, Transaction, TxnId, Violation,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::path::PathBuf;
 
 use crate::versioned::VersionedMap;
+#[allow(deprecated)] // compatibility re-export, see `aion_types::check::Mode`
 pub use aion_types::check::Mode;
 
 /// Online garbage-collection policy (paper Fig. 12's three strategies).
@@ -68,8 +78,10 @@ pub enum OnlineGcPolicy {
 pub struct AionConfig {
     /// Data type of the incoming history.
     pub kind: DataKind,
-    /// Isolation level to check.
-    pub mode: Mode,
+    /// How fed transactions are assigned isolation levels: one uniform
+    /// level (the classic AION / AION-SER modes), a per-session map, or
+    /// each transaction's own declared [`Transaction::level`].
+    pub levels: LevelPolicy,
     /// EXT finalization timeout in (virtual) milliseconds; the paper uses
     /// a conservative 5 s (§IV-A).
     pub ext_timeout_ms: u64,
@@ -111,7 +123,7 @@ impl Default for AionConfig {
     fn default() -> Self {
         AionConfig {
             kind: DataKind::Kv,
-            mode: Mode::Si,
+            levels: LevelPolicy::default(),
             ext_timeout_ms: 5000,
             gc: OnlineGcPolicy::None,
             track_flip_details: false,
@@ -129,6 +141,12 @@ impl AionConfig {
     /// Start building a configuration from the defaults.
     pub fn builder() -> OnlineCheckerBuilder {
         OnlineCheckerBuilder::default()
+    }
+
+    /// The level every transaction resolves to, when the policy is
+    /// uniform (the fast path; `None` for genuinely mixed sessions).
+    pub fn uniform_level(&self) -> Option<IsolationLevel> {
+        self.levels.uniform_level()
     }
 }
 
@@ -176,14 +194,15 @@ impl std::error::Error for ConfigError {
 /// [`ConfigError`], not a panic.
 ///
 /// ```
-/// use aion_online::{Mode, OnlineChecker, OnlineGcPolicy};
+/// use aion_online::{OnlineChecker, OnlineGcPolicy};
+/// use aion_types::IsolationLevel;
 /// let checker = OnlineChecker::builder()
-///     .mode(Mode::Ser)
+///     .level(IsolationLevel::Ser)
 ///     .gc(OnlineGcPolicy::Checking { max_txns: 10_000 })
 ///     .ext_timeout_ms(5_000)
 ///     .build()
 ///     .expect("in-memory sessions cannot fail to open");
-/// assert_eq!(checker.config().mode, Mode::Ser);
+/// assert_eq!(checker.config().uniform_level(), Some(IsolationLevel::Ser));
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct OnlineCheckerBuilder {
@@ -197,10 +216,24 @@ impl OnlineCheckerBuilder {
         self
     }
 
-    /// Isolation level to check (default: [`Mode::Si`]).
-    pub fn mode(mut self, mode: Mode) -> Self {
-        self.cfg.mode = mode;
+    /// Check every transaction at one uniform isolation level (default:
+    /// [`IsolationLevel::Si`]).
+    pub fn level(mut self, level: IsolationLevel) -> Self {
+        self.cfg.levels = LevelPolicy::Uniform(level);
         self
+    }
+
+    /// Full level-assignment policy — per-session or per-transaction
+    /// mixed-level checking (default: uniform SI).
+    pub fn levels(mut self, levels: LevelPolicy) -> Self {
+        self.cfg.levels = levels;
+        self
+    }
+
+    /// Pre-lattice spelling of [`level`](Self::level).
+    #[deprecated(since = "0.6.0", note = "renamed to `level` (or `levels` for mixed policies)")]
+    pub fn mode(self, mode: IsolationLevel) -> Self {
+        self.level(mode)
     }
 
     /// EXT finalization timeout in virtual milliseconds (default: the
@@ -294,6 +327,9 @@ struct ReadState {
 #[derive(Debug)]
 struct OnlineTxn {
     txn: Transaction,
+    /// The isolation level this transaction is checked at, resolved
+    /// from the session's [`LevelPolicy`] once at arrival.
+    level: IsolationLevel,
     write_set: Vec<(Key, Snapshot)>,
     reads: Vec<ReadState>,
     /// Keys whose first in-transaction access was a read: their published
@@ -301,6 +337,21 @@ struct OnlineTxn {
     /// frontier (no cascade).
     anchor_keys: Vec<Key>,
     finalized: bool,
+}
+
+impl OnlineTxn {
+    /// The event this transaction's reads anchor at, per its level.
+    fn anchor(&self) -> EventKey {
+        anchor_event(&self.txn, self.level)
+    }
+}
+
+/// The event a transaction's reads anchor at under `level`.
+fn anchor_event(txn: &Transaction, level: IsolationLevel) -> EventKey {
+    match level.checks().anchor {
+        ReadAnchor::Start => txn.start_event(),
+        ReadAnchor::Commit => txn.commit_event(),
+    }
 }
 
 /// The outcome of an online checking session — the workspace-uniform
@@ -331,7 +382,7 @@ impl GlobalChecks {
     pub(crate) fn admit(
         &mut self,
         txn: &Transaction,
-        mode: Mode,
+        level: IsolationLevel,
         mut emit: impl FnMut(Violation),
     ) -> bool {
         // --- integrity ---------------------------------------------------
@@ -357,12 +408,13 @@ impl GlobalChecks {
         // --- SESSION -----------------------------------------------------
         let expected = self.next_sno.get(&txn.sid).copied().unwrap_or(0);
         let last_cts = self.last_cts.get(&txn.sid).copied().unwrap_or(Timestamp::MIN);
-        let violated = match mode {
-            // SI: must follow its predecessor and start after it committed.
-            Mode::Si => txn.sno != expected || txn.start_ts < last_cts,
-            // SER: start timestamps are ignored; session order must embed
-            // into commit order.
-            Mode::Ser => txn.sno != expected || txn.commit_ts <= last_cts,
+        let violated = match level.checks().session {
+            // Snapshot-ordered levels (SI, RA): must follow the
+            // predecessor and start after it committed.
+            SessionPredicate::SnapshotOrder => txn.sno != expected || txn.start_ts < last_cts,
+            // Commit-ordered levels (SER, RC): start timestamps are
+            // ignored; session order must embed into commit order.
+            SessionPredicate::CommitOrder => txn.sno != expected || txn.commit_ts <= last_cts,
         };
         if violated {
             emit(Violation::Session {
@@ -390,6 +442,19 @@ impl GlobalChecks {
     }
 }
 
+/// Stable `"aion-…"` checker name for a level policy (interned: the
+/// `Checker` trait hands out `&'static str`).
+pub(crate) fn aion_level_name(levels: &LevelPolicy) -> &'static str {
+    match levels.uniform_level() {
+        Some(IsolationLevel::ReadCommitted) => "aion-rc",
+        Some(IsolationLevel::ReadAtomic) => "aion-ra",
+        Some(IsolationLevel::Si) => "aion-si",
+        Some(IsolationLevel::Ser) => "aion-ser",
+        Some(_) => "aion",
+        None => "aion-mixed",
+    }
+}
+
 /// The online checker. Drive it with [`receive`](Self::receive) and
 /// [`tick`](Self::tick), then [`finish`](Self::finish) — or through the
 /// polymorphic [`Checker`] trait, whose `feed`/`tick` delegate here.
@@ -398,6 +463,14 @@ impl GlobalChecks {
 /// *while* the history streams in.
 pub struct OnlineChecker {
     cfg: AionConfig,
+    /// Whether any level the policy can produce activates NOCONFLICT —
+    /// when false (e.g. uniform SER/RA/RC) the overlap index is never
+    /// touched, keeping the hot path as cheap as the old global branch.
+    track_overlaps: bool,
+    /// Whether any level the policy can produce uses the
+    /// [`ExtPredicate::Committed`] membership predicate — when false,
+    /// the extended trigger sweep for committed-readers is skipped.
+    has_committed_ext: bool,
     txns: FxHashMap<TxnId, OnlineTxn>,
     globals: GlobalChecks,
     frontier: VersionedMap<Snapshot>,
@@ -441,8 +514,12 @@ impl OnlineChecker {
             None => SpillStore::in_memory(),
         };
         let flips = FlipTracker::new(cfg.track_flip_details);
+        let track_overlaps = cfg.levels.may_activate(|c| c.noconflict);
+        let has_committed_ext = cfg.levels.may_activate(|c| c.ext == ExtPredicate::Committed);
         Ok(OnlineChecker {
             cfg,
+            track_overlaps,
+            has_committed_ext,
             txns: FxHashMap::default(),
             globals: GlobalChecks::default(),
             frontier: VersionedMap::new(),
@@ -471,12 +548,10 @@ impl OnlineChecker {
         &self.cfg
     }
 
-    /// Stable checker name, e.g. `"aion-si"`.
+    /// Stable checker name: `"aion-<level>"` for uniform sessions,
+    /// `"aion-mixed"` for per-session/per-transaction policies.
     pub fn checker_name(&self) -> &'static str {
-        match self.cfg.mode {
-            Mode::Si => "aion-si",
-            Mode::Ser => "aion-ser",
-        }
+        aion_level_name(&self.cfg.levels)
     }
 
     /// Commit a violation to the report and the event stream.
@@ -506,14 +581,11 @@ impl OnlineChecker {
 
     /// A SER checker with default settings.
     pub fn new_ser(kind: DataKind) -> OnlineChecker {
-        OnlineChecker::new(AionConfig { kind, mode: Mode::Ser, ..AionConfig::default() })
-    }
-
-    fn anchor_of(&self, txn: &Transaction) -> EventKey {
-        match self.cfg.mode {
-            Mode::Si => txn.start_event(),
-            Mode::Ser => txn.commit_event(),
-        }
+        OnlineChecker::new(AionConfig {
+            kind,
+            levels: LevelPolicy::Uniform(IsolationLevel::Ser),
+            ..AionConfig::default()
+        })
     }
 
     fn frontier_at(&self, key: Key, at: EventKey) -> Snapshot {
@@ -521,6 +593,46 @@ impl OnlineChecker {
             .get_before(key, at)
             .map(|(_, v)| v.clone())
             .unwrap_or_else(|| Snapshot::initial(self.cfg.kind))
+    }
+
+    /// Evaluate one external read under `ext`, against the versions
+    /// currently known.
+    ///
+    /// * [`ExtPredicate::Frontier`] — the observation must fold from the
+    ///   latest version before the anchor (the paper's EXT).
+    /// * [`ExtPredicate::Committed`] — the observation must fold from
+    ///   *some* version before the anchor (or the initial value).
+    ///   Base-independent mutation chains (put-rooted) collapse to a
+    ///   single comparison; base-dependent chains (list appends) fall
+    ///   back to the frontier base, matching CHRONOS-RC's `int_val`
+    ///   convention, so online and offline RC verdicts agree on list
+    ///   histories too.
+    fn read_ok(
+        &self,
+        ext: ExtPredicate,
+        key: Key,
+        anchor: EventKey,
+        muts: &[Mutation],
+        observed: &Snapshot,
+    ) -> bool {
+        match ext {
+            ExtPredicate::Frontier => {
+                expected_read(&self.frontier_at(key, anchor), muts) == *observed
+            }
+            ExtPredicate::Committed => {
+                if !muts.is_empty() && !base_independent(muts) {
+                    return expected_read(&self.frontier_at(key, anchor), muts) == *observed;
+                }
+                if expected_read(&Snapshot::initial(self.cfg.kind), muts) == *observed {
+                    return true;
+                }
+                if !muts.is_empty() {
+                    // Base-independent: every base folds the same.
+                    return false;
+                }
+                self.frontier.iter_before(key, anchor).any(|v| v == observed)
+            }
+        }
     }
 
     /// Violations reported so far.
@@ -614,6 +726,7 @@ impl OnlineChecker {
     pub fn receive(&mut self, txn: Transaction, now_ms: u64) -> Vec<CheckEvent> {
         self.now_ms = self.now_ms.max(now_ms);
         self.stats.received += 1;
+        let level = self.cfg.levels.level_for(&txn);
 
         // Under a sharding coordinator the global (cross-key) checks have
         // already run exactly once for the whole transaction (through the
@@ -621,8 +734,7 @@ impl OnlineChecker {
         // deduplicated sub-footprints.
         if !self.cfg.coordinated {
             let mut violations = Vec::new();
-            let admitted =
-                self.globals.admit(&txn, self.cfg.mode, |violation| violations.push(violation));
+            let admitted = self.globals.admit(&txn, level, |violation| violations.push(violation));
             for violation in violations {
                 self.emit(violation);
             }
@@ -634,25 +746,26 @@ impl OnlineChecker {
         // --- reload spilled state if this arrival reaches below the GC
         //     horizon (deep straggler) ---------------------------------------
         if let Some(horizon) = self.gc_horizon_ts {
-            let anchor_ts = match self.cfg.mode {
-                Mode::Si => txn.start_ts,
-                Mode::Ser => txn.commit_ts,
+            let anchor_ts = match level.checks().anchor {
+                ReadAnchor::Start => txn.start_ts,
+                ReadAnchor::Commit => txn.commit_ts,
             };
             if anchor_ts <= horizon {
                 self.reload_below(txn.commit_ts);
             }
         }
 
-        self.process(txn);
+        self.process(txn, level);
         self.maybe_gc();
         self.stats.peak_resident_txns = self.stats.peak_resident_txns.max(self.txns.len());
         self.take_events()
     }
 
-    /// Steps ①–③ for a well-formed arrival.
-    fn process(&mut self, txn: Transaction) {
+    /// Steps ①–③ for a well-formed arrival, checked at `level`.
+    fn process(&mut self, txn: Transaction, level: IsolationLevel) {
         let tid = txn.tid;
-        let anchor = self.anchor_of(&txn);
+        let checks = level.checks();
+        let anchor = anchor_event(&txn, level);
         let commit_ev = txn.commit_event();
 
         // -- derive read states and the write set ---------------------------
@@ -738,16 +851,16 @@ impl OnlineChecker {
         let mut anchor_keys: Vec<Key> = anchored.keys().copied().collect();
         anchor_keys.sort_unstable();
 
-        // -- step ①: tentative verdicts against the known frontier ----------
+        // -- step ①: tentative verdicts against the known versions ----------
         for r in reads.iter_mut() {
             if r.settled {
                 continue;
             }
-            let base = self.frontier_at(r.key, anchor);
-            let expected = expected_read(&base, &r.muts_before);
-            if expected == r.observed {
+            if self.read_ok(checks.ext, r.key, anchor, &r.muts_before, &r.observed) {
                 r.ok = true;
             } else {
+                let base = self.frontier_at(r.key, anchor);
+                let expected = expected_read(&base, &r.muts_before);
                 match classify_mismatch(&r.muts_before, &r.observed) {
                     MismatchAxiom::Int => {
                         // Stable under asynchrony: report immediately.
@@ -787,20 +900,40 @@ impl OnlineChecker {
             self.triggers.push_back((*key, commit_ev));
         }
 
-        // -- step ②: NOCONFLICT via overlap registration (SI only) ----------
-        let mut conflicts: Vec<(Key, TxnId)> = Vec::new();
-        if self.cfg.mode == Mode::Si {
+        // -- step ②: NOCONFLICT via overlap registration --------------------
+        // Every writer registers whenever *some* level of the policy
+        // activates NOCONFLICT (an overlap is a pair property — the
+        // partner's level matters too); a conflict is reported when
+        // either member's level forbids concurrent writers, following
+        // the mixed-level convention that an SI transaction's
+        // first-committer-wins guarantee binds whoever overlaps it.
+        // Each writer's own NOCONFLICT activation travels *inside* the
+        // overlap index, so the pair rule stays exact even when the
+        // partner has been spilled out of resident memory.
+        let mut conflicts: Vec<(Key, crate::index::OngoingWriter)> = Vec::new();
+        if self.track_overlaps {
             for (key, _) in &write_set {
-                for other in self.ongoing.register(*key, tid, txn.start_event(), commit_ev, false) {
+                for other in self.ongoing.register(
+                    *key,
+                    tid,
+                    checks.noconflict,
+                    txn.start_event(),
+                    commit_ev,
+                    false,
+                ) {
                     conflicts.push((*key, other));
                 }
             }
         }
         for (key, other) in conflicts {
+            if !checks.noconflict && !other.noconflict {
+                continue;
+            }
             // The earlier committer reports (matching CHRONOS's convention).
             let other_cts =
-                self.txns.get(&other).map(|t| t.txn.commit_ts).unwrap_or(Timestamp::MIN);
-            let (t1, t2) = if other_cts < txn.commit_ts { (other, tid) } else { (tid, other) };
+                self.txns.get(&other.tid).map(|t| t.txn.commit_ts).unwrap_or(Timestamp::MIN);
+            let (t1, t2) =
+                if other_cts < txn.commit_ts { (other.tid, tid) } else { (tid, other.tid) };
             self.emit(Violation::NoConflict { key, t1, t2 });
         }
 
@@ -812,13 +945,20 @@ impl OnlineChecker {
         } else {
             self.deadlines.push(Reverse((self.now_ms + self.cfg.ext_timeout_ms, tid)));
         }
-        self.txns.insert(tid, OnlineTxn { txn, write_set, reads, anchor_keys, finalized });
+        self.txns.insert(tid, OnlineTxn { txn, level, write_set, reads, anchor_keys, finalized });
 
         self.process_triggers();
     }
 
     /// Re-check readers (and, for lists, dependent writers) in the window
     /// `(from, next version of key)` after a version insertion at `from`.
+    ///
+    /// Frontier-predicate readers anchored past the next version of the
+    /// key are untouched by construction (their visible frontier did not
+    /// change). Committed-predicate (RC) readers have no such window —
+    /// *any* version below their anchor can justify their observation —
+    /// so when the policy can produce them, a second sweep re-evaluates
+    /// just those readers beyond the bound.
     fn process_triggers(&mut self) {
         while let Some((key, from)) = self.triggers.pop_front() {
             let bound = if self.cfg.naive_recheck {
@@ -827,7 +967,12 @@ impl OnlineChecker {
                 self.frontier.next_after(key, from).unwrap_or(EventKey::INFINITY)
             };
             for (anchor_ev, rref) in self.readers.range(key, from, bound) {
-                self.re_evaluate(rref, key, anchor_ev);
+                self.re_evaluate(rref, key, anchor_ev, false);
+            }
+            if self.has_committed_ext && bound != EventKey::INFINITY {
+                for (anchor_ev, rref) in self.readers.range(key, bound, EventKey::INFINITY) {
+                    self.re_evaluate(rref, key, anchor_ev, true);
+                }
             }
             if self.cfg.kind == DataKind::List {
                 // Append results depend on their base snapshot: writers in
@@ -839,18 +984,20 @@ impl OnlineChecker {
         }
     }
 
-    fn re_evaluate(&mut self, rref: ReadRef, key: Key, anchor_ev: EventKey) {
+    fn re_evaluate(&mut self, rref: ReadRef, key: Key, anchor_ev: EventKey, committed_only: bool) {
         let Some(t) = self.txns.get(&rref.tid) else { return };
         if t.finalized {
             return; // verdict frozen (paper lines 40–41)
+        }
+        let ext = t.level.checks().ext;
+        if committed_only && ext != ExtPredicate::Committed {
+            return; // frontier readers beyond the window are unaffected
         }
         let r = &t.reads[rref.read_idx as usize];
         if r.settled {
             return;
         }
-        let base = self.frontier_at(key, anchor_ev);
-        let expected = expected_read(&base, &r.muts_before);
-        let new_ok = expected == r.observed;
+        let new_ok = self.read_ok(ext, key, anchor_ev, &r.muts_before, &r.observed);
         self.stats.reevaluations += 1;
         if new_ok != r.ok {
             let rectified =
@@ -908,7 +1055,7 @@ impl OnlineChecker {
         if t.finalized {
             return;
         }
-        let anchor = self.anchor_of(&t.txn);
+        let anchor = t.anchor();
         let mut viols = Vec::new();
         for r in &t.reads {
             if !r.ok && !r.settled {
@@ -955,7 +1102,7 @@ impl OnlineChecker {
         let mut safe_horizon = EventKey::INFINITY;
         for t in self.txns.values() {
             if !t.finalized {
-                safe_horizon = safe_horizon.min(self.anchor_of(&t.txn));
+                safe_horizon = safe_horizon.min(t.anchor());
             }
         }
         let mut candidates: Vec<(EventKey, TxnId)> = self
@@ -994,9 +1141,19 @@ impl OnlineChecker {
         // transaction can still anchor a query at.
         let mut prune_horizon = safe_horizon;
         for t in self.txns.values() {
-            prune_horizon = prune_horizon.min(self.anchor_of(&t.txn));
+            prune_horizon = prune_horizon.min(t.anchor());
         }
-        self.frontier.prune_below(prune_horizon);
+        // The frontier-exact levels only ever query the latest version
+        // below an anchor, which `prune_below` keeps per key. RC's
+        // membership predicate has no such base: *any* committed
+        // version below the anchor can justify a read, so when the
+        // policy can produce committed-predicate readers the whole
+        // version chain must stay resident — the same
+        // `O(total versions)` price CHRONOS-RC documents. Transactions
+        // still spill; only the per-key snapshots are retained.
+        if !self.has_committed_ext {
+            self.frontier.prune_below(prune_horizon);
+        }
         self.ongoing.prune_below(prune_horizon);
         self.readers.prune_below(prune_horizon);
         self.writers.prune_below(prune_horizon);
@@ -1023,17 +1180,23 @@ impl OnlineChecker {
                     // visible version changes (see DESIGN.md).
                     self.frontier.insert(*key, commit_ev, snap.clone());
                 }
-                if self.cfg.mode == Mode::Si {
+                // The policy resolves deterministically, so the reloaded
+                // transaction gets exactly the level it was checked at
+                // (its declaration survives the spill codec).
+                let level = self.cfg.levels.level_for(&e.txn);
+                if self.track_overlaps {
+                    let nc = level.checks().noconflict;
                     for (key, _) in &e.write_set {
                         // Conflicts among reloaded transactions were already
                         // reported before they were spilled.
-                        self.ongoing.register(*key, tid, e.txn.start_event(), commit_ev, true);
+                        self.ongoing.register(*key, tid, nc, e.txn.start_event(), commit_ev, true);
                     }
                 }
                 self.txns.insert(
                     tid,
                     OnlineTxn {
                         txn: e.txn,
+                        level,
                         write_set: e.write_set,
                         reads: Vec::new(),
                         anchor_keys: Vec::new(),
@@ -1111,6 +1274,99 @@ mod tests {
         );
         // T4 flip-flopped: wrong on arrival, rectified by T5.
         assert!(out.flips.total_flips >= 1);
+    }
+
+    /// Regression: GC must not prune version-chain members that RC's
+    /// membership predicate still needs. The stale version `v=1` is
+    /// committed long before the GC horizon; an RC reader arriving
+    /// later may legally observe it.
+    #[test]
+    fn rc_membership_survives_gc_pruning() {
+        let mut a = OnlineChecker::builder()
+            .level(IsolationLevel::ReadCommitted)
+            .ext_timeout_ms(10)
+            .gc(OnlineGcPolicy::Checking { max_txns: 8 })
+            .build()
+            .unwrap();
+        // 40 sequential writers of one key; ticks finalize and GC spills.
+        for i in 1..=40u64 {
+            let txn = t(i, 0, (i - 1) as u32, i * 10, i * 10 + 5).put(Key(1), Value(i)).build();
+            a.receive(txn, i * 100);
+            a.tick(i * 100);
+        }
+        assert!(a.stats().spilled_txns > 0, "GC must have spilled");
+        // An RC reader anchored at the end of the stream observing the
+        // *first* version: stale but committed — RC must accept, which
+        // requires the whole version chain to still be queryable.
+        a.receive(t(1000, 1, 0, 900, 901).read(Key(1), Value(1)).build(), 5000);
+        let out = a.finish();
+        assert!(out.is_ok(), "stale committed read is RC-legal: {}", out.report);
+    }
+
+    /// Regression: an overlapping writer pair whose levels permit the
+    /// overlap must not trip NOCONFLICT even when the first partner has
+    /// been spilled out of resident memory — the partner's level
+    /// travels inside the overlap index, not via a resident-transaction
+    /// lookup (which would presume SI).
+    #[test]
+    fn spilled_overlap_partners_keep_their_level() {
+        let feed = |partner_level: IsolationLevel| {
+            let mut a = OnlineChecker::builder()
+                .levels(LevelPolicy::per_txn(IsolationLevel::Si))
+                .ext_timeout_ms(10)
+                .gc(OnlineGcPolicy::Checking { max_txns: 4 })
+                .build()
+                .unwrap();
+            // A long-interval reader whose low start anchor pins the
+            // prune horizon (so the spilled writer's overlap interval
+            // survives pruning) while its huge commit keeps it off the
+            // oldest-commit-first spill list; the tick finalizes it so
+            // it never blocks spilling.
+            a.receive(
+                t(50, 0, 0, 5, 5000).read(Key(9), Value(0)).level(IsolationLevel::Si).build(),
+                0,
+            );
+            a.tick(100);
+            // The RA-declared writer that will be spilled.
+            a.receive(
+                t(1, 1, 0, 10, 30).put(Key(1), Value(1)).level(IsolationLevel::ReadAtomic).build(),
+                100,
+            );
+            // Fillers on disjoint keys push the resident count over the
+            // GC threshold.
+            for i in 2..=9u64 {
+                let txn = t(i, i as u32, 0, i * 100, i * 100 + 1)
+                    .put(Key(i + 100), Value(i))
+                    .level(IsolationLevel::ReadAtomic)
+                    .build();
+                a.receive(txn, i * 100);
+                a.tick(i * 100);
+            }
+            assert!(a.stats().spilled_txns > 0, "GC must have spilled");
+            assert!(!a.txns.contains_key(&TxnId(1)), "partner must be non-resident");
+            // A second writer of the same key overlapping [10, 30]. The
+            // RC variant anchors at its commit (above the GC horizon),
+            // so no straggler reload brings the partner back.
+            a.receive(
+                t(99, 20, 0, 20, 2000).put(Key(1), Value(99)).level(partner_level).build(),
+                2000,
+            );
+            a.finish()
+        };
+        let rc = feed(IsolationLevel::ReadCommitted);
+        assert_eq!(
+            rc.report.count(AxiomKind::NoConflict),
+            0,
+            "an RA/RC overlap is legal even with the partner spilled: {}",
+            rc.report
+        );
+        let si = feed(IsolationLevel::Si);
+        assert_eq!(
+            si.report.count(AxiomKind::NoConflict),
+            1,
+            "an SI member still binds the pair: {}",
+            si.report
+        );
     }
 
     #[test]
@@ -1369,18 +1625,18 @@ mod tests {
     fn builder_roundtrips_config() {
         let cfg = AionConfig::builder()
             .kind(DataKind::List)
-            .mode(Mode::Ser)
+            .level(IsolationLevel::Ser)
             .ext_timeout_ms(123)
             .gc(OnlineGcPolicy::Full { max_txns: 7 })
             .track_flip_details(true)
             .naive_recheck(true)
             .config();
         assert_eq!(cfg.kind, DataKind::List);
-        assert_eq!(cfg.mode, Mode::Ser);
+        assert_eq!(cfg.uniform_level(), Some(IsolationLevel::Ser));
         assert_eq!(cfg.ext_timeout_ms, 123);
         assert_eq!(cfg.gc, OnlineGcPolicy::Full { max_txns: 7 });
         assert!(cfg.track_flip_details && cfg.naive_recheck);
-        let ck = OnlineChecker::builder().mode(Mode::Ser).build().unwrap();
+        let ck = OnlineChecker::builder().level(IsolationLevel::Ser).build().unwrap();
         assert_eq!(ck.checker_name(), "aion-ser");
         assert_eq!(Checker::name(&ck), "aion-ser");
     }

@@ -85,6 +85,19 @@ impl<T: Clone + PartialEq> KeyEventIndex<T> {
     }
 }
 
+/// One writer registered in the [`OngoingIndex`]: the transaction and
+/// whether *its* isolation level activates NOCONFLICT. Carrying the
+/// flag in the index (instead of looking the partner up at conflict
+/// time) keeps mixed-level pair semantics correct even after the
+/// partner transaction has been spilled out of resident memory.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct OngoingWriter {
+    /// The writing transaction.
+    pub tid: TxnId,
+    /// Whether its level forbids concurrent writers.
+    pub noconflict: bool,
+}
+
 /// The `ongoing_ts` structure: per key, the set of transactions holding an
 /// uncommitted write at each event of that key. Registering a transaction's
 /// write interval returns every *overlapping* writer — exactly the
@@ -93,7 +106,7 @@ impl<T: Clone + PartialEq> KeyEventIndex<T> {
 /// arrives).
 #[derive(Clone, Debug, Default)]
 pub struct OngoingIndex {
-    map: VersionedMap<Vec<TxnId>>,
+    map: VersionedMap<Vec<OngoingWriter>>,
 }
 
 impl OngoingIndex {
@@ -102,8 +115,9 @@ impl OngoingIndex {
         Self::default()
     }
 
-    /// Register that `tid` writes `key` over `[start, commit]`. Returns the
-    /// distinct transactions whose registered intervals on `key` overlap.
+    /// Register that `tid` (whose level's NOCONFLICT activation is
+    /// `noconflict`) writes `key` over `[start, commit]`. Returns the
+    /// distinct registered writers whose intervals on `key` overlap.
     /// With `silent`, versions are updated but no overlaps are returned
     /// (used when re-registering reloaded transactions whose conflicts were
     /// already reported before they were spilled).
@@ -111,14 +125,16 @@ impl OngoingIndex {
         &mut self,
         key: Key,
         tid: TxnId,
+        noconflict: bool,
         start: EventKey,
         commit: EventKey,
         silent: bool,
-    ) -> Vec<TxnId> {
-        let base: Vec<TxnId> =
+    ) -> Vec<OngoingWriter> {
+        let me = OngoingWriter { tid, noconflict };
+        let base: Vec<OngoingWriter> =
             self.map.get_before(key, start).map(|(_, v)| v.clone()).unwrap_or_default();
 
-        let mut overlap: FxHashSet<TxnId> = FxHashSet::default();
+        let mut overlap: FxHashSet<OngoingWriter> = FxHashSet::default();
         if !silent {
             overlap.extend(base.iter().copied());
         }
@@ -128,23 +144,23 @@ impl OngoingIndex {
             if !silent {
                 overlap.extend(set.iter().copied());
             }
-            if !set.contains(&tid) {
-                set.push(tid);
+            if !set.iter().any(|w| w.tid == tid) {
+                set.push(me);
             }
         }
         // Version at our start: ongoing just before, plus us.
         let mut at_start = base;
-        at_start.push(tid);
+        at_start.push(me);
         self.map.insert(key, start, at_start);
         // Version at our commit: ongoing just before commit, minus us.
-        let mut at_commit: Vec<TxnId> =
+        let mut at_commit: Vec<OngoingWriter> =
             self.map.get_before(key, commit).map(|(_, v)| v.clone()).unwrap_or_default();
-        at_commit.retain(|&t| t != tid);
+        at_commit.retain(|w| w.tid != tid);
         self.map.insert(key, commit, at_commit);
 
-        overlap.remove(&tid);
-        let mut out: Vec<TxnId> = overlap.into_iter().collect();
-        out.sort_unstable();
+        overlap.retain(|w| w.tid != tid);
+        let mut out: Vec<OngoingWriter> = overlap.into_iter().collect();
+        out.sort_unstable_by_key(|w| w.tid);
         out
     }
 
@@ -195,16 +211,16 @@ mod tests {
     fn ongoing_detects_simple_overlap() {
         let mut idx = OngoingIndex::new();
         // t1 [1,5], t2 [3,7] on same key: overlap detected when t2 arrives.
-        assert!(idx.register(Key(1), TxnId(1), s(1, 1), c(5, 1), false).is_empty());
-        let conflicts = idx.register(Key(1), TxnId(2), s(3, 2), c(7, 2), false);
-        assert_eq!(conflicts, vec![TxnId(1)]);
+        assert!(idx.register(Key(1), TxnId(1), true, s(1, 1), c(5, 1), false).is_empty());
+        let conflicts = idx.register(Key(1), TxnId(2), true, s(3, 2), c(7, 2), false);
+        assert_eq!(conflicts, vec![OngoingWriter { tid: TxnId(1), noconflict: true }]);
     }
 
     #[test]
     fn ongoing_no_overlap_for_disjoint_intervals() {
         let mut idx = OngoingIndex::new();
-        idx.register(Key(1), TxnId(1), s(1, 1), c(2, 1), false);
-        let conflicts = idx.register(Key(1), TxnId(2), s(3, 2), c(4, 2), false);
+        idx.register(Key(1), TxnId(1), true, s(1, 1), c(2, 1), false);
+        let conflicts = idx.register(Key(1), TxnId(2), true, s(3, 2), c(4, 2), false);
         assert!(conflicts.is_empty());
     }
 
@@ -212,9 +228,9 @@ mod tests {
     fn ongoing_out_of_order_arrival_detects_containment() {
         let mut idx = OngoingIndex::new();
         // t2 [3,4] arrives first; t1 [1,10] (containing t2) arrives later.
-        idx.register(Key(1), TxnId(2), s(3, 2), c(4, 2), false);
-        let conflicts = idx.register(Key(1), TxnId(1), s(1, 1), c(10, 1), false);
-        assert_eq!(conflicts, vec![TxnId(2)]);
+        idx.register(Key(1), TxnId(2), true, s(3, 2), c(4, 2), false);
+        let conflicts = idx.register(Key(1), TxnId(1), true, s(1, 1), c(10, 1), false);
+        assert_eq!(conflicts, vec![OngoingWriter { tid: TxnId(2), noconflict: true }]);
     }
 
     #[test]
@@ -222,37 +238,44 @@ mod tests {
         // Paper Fig. 2: T5 [4,7] and T3 [6,9] both write y; T2 [3,5] writes x.
         let y = Key(2);
         let mut idx = OngoingIndex::new();
-        idx.register(y, TxnId(3), s(6, 3), c(9, 3), false);
-        let conflicts = idx.register(y, TxnId(5), s(4, 5), c(7, 5), false);
-        assert_eq!(conflicts, vec![TxnId(3)]);
+        idx.register(y, TxnId(3), true, s(6, 3), c(9, 3), false);
+        let conflicts = idx.register(y, TxnId(5), true, s(4, 5), c(7, 5), false);
+        assert_eq!(conflicts, vec![OngoingWriter { tid: TxnId(3), noconflict: true }]);
     }
 
     #[test]
     fn ongoing_three_way_overlap_counts_pairs_once() {
         let mut idx = OngoingIndex::new();
         let mut pairs = 0;
-        pairs += idx.register(Key(1), TxnId(1), s(1, 1), c(4, 1), false).len();
-        pairs += idx.register(Key(1), TxnId(2), s(2, 2), c(5, 2), false).len();
-        pairs += idx.register(Key(1), TxnId(3), s(3, 3), c(6, 3), false).len();
+        pairs += idx.register(Key(1), TxnId(1), true, s(1, 1), c(4, 1), false).len();
+        pairs += idx.register(Key(1), TxnId(2), true, s(2, 2), c(5, 2), false).len();
+        pairs += idx.register(Key(1), TxnId(3), true, s(3, 3), c(6, 3), false).len();
         assert_eq!(pairs, 3, "each of the 3 pairs exactly once");
     }
 
     #[test]
     fn ongoing_silent_registration_reports_nothing() {
         let mut idx = OngoingIndex::new();
-        idx.register(Key(1), TxnId(1), s(1, 1), c(4, 1), false);
-        let conflicts = idx.register(Key(1), TxnId(2), s(2, 2), c(5, 2), true);
+        idx.register(Key(1), TxnId(1), true, s(1, 1), c(4, 1), false);
+        let conflicts = idx.register(Key(1), TxnId(2), false, s(2, 2), c(5, 2), true);
         assert!(conflicts.is_empty());
         // But the silent registration is still visible to later arrivals.
-        let conflicts = idx.register(Key(1), TxnId(3), s(3, 3), c(6, 3), false);
-        assert_eq!(conflicts, vec![TxnId(1), TxnId(2)]);
+        let conflicts = idx.register(Key(1), TxnId(3), true, s(3, 3), c(6, 3), false);
+        assert_eq!(
+            conflicts,
+            vec![
+                OngoingWriter { tid: TxnId(1), noconflict: true },
+                OngoingWriter { tid: TxnId(2), noconflict: false }
+            ],
+            "the silent registration's level flag survives"
+        );
     }
 
     #[test]
     fn ongoing_different_keys_never_conflict() {
         let mut idx = OngoingIndex::new();
-        idx.register(Key(1), TxnId(1), s(1, 1), c(5, 1), false);
-        let conflicts = idx.register(Key(2), TxnId(2), s(2, 2), c(6, 2), false);
+        idx.register(Key(1), TxnId(1), true, s(1, 1), c(5, 1), false);
+        let conflicts = idx.register(Key(2), TxnId(2), true, s(2, 2), c(6, 2), false);
         assert!(conflicts.is_empty());
     }
 }

@@ -33,8 +33,11 @@ pub mod stats;
 pub mod versioned;
 
 pub use aion_types::check::{CheckEvent, Checker, Outcome, ShardConfig};
+pub use aion_types::{IsolationLevel, LevelPolicy};
+#[allow(deprecated)] // compatibility re-export, see `aion_types::check::Mode`
+pub use checker::Mode;
 pub use checker::{
-    AionConfig, AionOutcome, ConfigError, Mode, OnlineChecker, OnlineCheckerBuilder, OnlineGcPolicy,
+    AionConfig, AionOutcome, ConfigError, OnlineChecker, OnlineCheckerBuilder, OnlineGcPolicy,
 };
 pub use feed::{
     feed_plan, route_txn, run_plan, shard_of, Arrival, FeedConfig, OnlineRunReport, RoutedTxn,

@@ -43,11 +43,11 @@
 //! events before `finish`.
 //!
 //! ```
-//! use aion_online::{Mode, OnlineChecker};
-//! use aion_types::{Checker, DataKind, Key, TxnBuilder, Value};
+//! use aion_online::OnlineChecker;
+//! use aion_types::{Checker, DataKind, IsolationLevel, Key, TxnBuilder, Value};
 //!
 //! let mut checker =
-//!     OnlineChecker::builder().mode(Mode::Si).shards(4).build_sharded().expect("config");
+//!     OnlineChecker::builder().level(IsolationLevel::Si).shards(4).build_sharded().expect("config");
 //! checker.feed(
 //!     TxnBuilder::new(1).session(0, 0).interval(1, 2).put(Key(1), Value(7)).build(), 0);
 //! checker.feed(
@@ -57,7 +57,9 @@
 //! assert_eq!(outcome.txns, 2);
 //! ```
 
-use crate::checker::{AionConfig, ConfigError, GlobalChecks, Mode, OnlineChecker, OnlineGcPolicy};
+use crate::checker::{
+    aion_level_name, AionConfig, ConfigError, GlobalChecks, OnlineChecker, OnlineGcPolicy,
+};
 use crate::feed::{route_txn, RoutedTxn};
 use aion_types::{
     CheckEvent, CheckReport, Checker, CheckerStats, FlipSummary, FxHashMap, Outcome, Transaction,
@@ -238,11 +240,16 @@ impl ShardedChecker {
         self.shards
     }
 
-    /// Stable checker name, e.g. `"aion-si-sharded"`.
+    /// Stable checker name, e.g. `"aion-si-sharded"` (or
+    /// `"aion-mixed-sharded"` for per-session/per-txn policies).
     pub fn checker_name(&self) -> &'static str {
-        match self.cfg.mode {
-            Mode::Si => "aion-si-sharded",
-            Mode::Ser => "aion-ser-sharded",
+        match aion_level_name(&self.cfg.levels) {
+            "aion-rc" => "aion-rc-sharded",
+            "aion-ra" => "aion-ra-sharded",
+            "aion-si" => "aion-si-sharded",
+            "aion-ser" => "aion-ser-sharded",
+            "aion-mixed" => "aion-mixed-sharded",
+            _ => "aion-sharded",
         }
     }
 
@@ -268,10 +275,11 @@ impl ShardedChecker {
         self.received += 1;
 
         // --- global checks: the single checker's `GlobalChecks`, run
-        //     once per whole transaction -----------------------------------
+        //     once per whole transaction, at the same resolved level the
+        //     workers will check the footprint at ------------------------
+        let level = self.cfg.levels.level_for(&txn);
         let mut violations = Vec::new();
-        let admitted =
-            self.globals.admit(&txn, self.cfg.mode, |violation| violations.push(violation));
+        let admitted = self.globals.admit(&txn, level, |violation| violations.push(violation));
         for violation in violations {
             self.emit(violation);
         }
@@ -560,7 +568,7 @@ fn worker_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aion_types::{AxiomKind, DataKind, Key, TxnBuilder, Value};
+    use aion_types::{AxiomKind, DataKind, IsolationLevel, Key, TxnBuilder, Value};
 
     fn t(tid: u64, sid: u32, sno: u32, s: u64, c: u64) -> TxnBuilder {
         TxnBuilder::new(tid).session(sid, sno).interval(s, c)
@@ -686,7 +694,8 @@ mod tests {
 
     #[test]
     fn ser_mode_is_shard_aware_too() {
-        let mut a = OnlineChecker::builder().mode(Mode::Ser).shards(4).build_sharded().unwrap();
+        let mut a =
+            OnlineChecker::builder().level(IsolationLevel::Ser).shards(4).build_sharded().unwrap();
         a.receive(t(1, 0, 0, 1, 2).put(Key(1), Value(1)).build(), 0);
         a.receive(t(2, 1, 0, 3, 6).put(Key(1), Value(2)).build(), 0);
         a.receive(t(3, 2, 0, 4, 7).read(Key(1), Value(1)).build(), 0);

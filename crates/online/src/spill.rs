@@ -81,7 +81,10 @@ impl SpillStore {
         for e in entries {
             min_ts = min_ts.min(e.txn.start_ts);
             max_ts = max_ts.max(e.txn.commit_ts);
-            codec::put_txn(&mut buf, &e.txn);
+            // The ext layout carries the declared isolation level, so a
+            // reloaded transaction resolves to the level it was checked
+            // at under a per-transaction policy.
+            codec::put_txn_ext(&mut buf, &e.txn);
             codec::put_varint(&mut buf, e.write_set.len() as u64);
             for (k, s) in &e.write_set {
                 codec::put_varint(&mut buf, k.0);
@@ -140,7 +143,7 @@ impl SpillStore {
         let count = codec::get_varint(&mut slice)? as usize;
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
-            let txn = codec::get_txn(&mut slice)?;
+            let txn = codec::get_txn_ext(&mut slice)?;
             let n = codec::get_varint(&mut slice)? as usize;
             let mut write_set = Vec::with_capacity(n);
             for _ in 0..n {

@@ -15,7 +15,7 @@
 
 use aion_online::{feed_plan, run_plan, FeedConfig, OnlineChecker};
 use aion_storage::{Anomaly, Expected, SkewTarget};
-use aion_types::{History, Mode};
+use aion_types::{History, IsolationLevel as Level};
 use aion_workload::apps::rubis::{rubis_templates, RubisParams};
 use aion_workload::apps::tpcc::{tpcc_templates, TpccParams};
 use aion_workload::apps::twitter::{twitter_templates, TwitterParams};
@@ -53,9 +53,9 @@ fn history(workload: usize, level: IsolationLevel, seed: u64) -> History {
     }
 }
 
-fn verdict(h: &History, mode: Mode) -> Vec<aion_types::Violation> {
+fn verdict(h: &History, level: Level) -> Vec<aion_types::Violation> {
     let plan = feed_plan(h, &FeedConfig::default());
-    let ck = OnlineChecker::builder().mode(mode).build().expect("in-memory session");
+    let ck = OnlineChecker::builder().level(level).build().expect("in-memory session");
     run_plan(ck, &plan).outcome.report.violations
 }
 
@@ -104,13 +104,13 @@ proptest! {
     #[test]
     fn zero_perturbations_is_verdict_identical(workload in 0usize..4, seed in 0u64..400) {
         let base = history(workload, IsolationLevel::Si, 13);
-        let base_si = verdict(&base, Mode::Si);
+        let base_si = verdict(&base, Level::Si);
         for &a in Anomaly::ALL {
             let mut h = base.clone();
             // Tiny rate: frequently plants nothing, which is the case
             // under test.
             if a.inject(&mut h, 0.01, seed) == 0 {
-                prop_assert_eq!(&verdict(&h, Mode::Si), &base_si, "{}", a.name());
+                prop_assert_eq!(&verdict(&h, Level::Si), &base_si, "{}", a.name());
             }
         }
     }
@@ -151,34 +151,37 @@ proptest! {
     /// The tentpole guarantee, end to end: on any workload and seed,
     /// an injected history trips the tagged violation class — and the
     /// `Accept` cells stay completely clean — under the online checker
-    /// at both levels.
+    /// at every level of the lattice.
     #[test]
     fn tagged_expectations_hold_under_online_checker(
         workload in 0usize..4,
         seed in 0u64..200,
     ) {
-        for (mode, level) in [(Mode::Si, IsolationLevel::Si), (Mode::Ser, IsolationLevel::Ser)] {
-            let base = history(workload, level, 7);
-            prop_assert!(verdict(&base, mode).is_empty(), "base history must be clean");
+        for &level in IsolationLevel::ALL {
+            // The base history must be valid *at the checked level*:
+            // SER bases run the 2PL engine, every weaker level shares
+            // the MVCC-SI execution (valid at SI ⇒ valid below it).
+            let exec = if level == Level::Ser { Level::Ser } else { Level::Si };
+            let base = history(workload, exec, 7);
+            prop_assert!(
+                verdict(&base, level).is_empty(),
+                "base history must be clean at {level}"
+            );
             for &a in Anomaly::ALL {
                 let mut h = base.clone();
                 if a.inject(&mut h, 0.3, seed) == 0 {
                     continue; // planting coverage is the conformance harness's job
                 }
-                let report = verdict(&h, mode);
-                let expected = match mode {
-                    Mode::Si => a.profile().si,
-                    Mode::Ser => a.profile().ser,
-                };
-                match expected {
+                let report = verdict(&h, level);
+                match a.profile().expected_at(level) {
                     Expected::Accept => prop_assert!(
                         report.is_empty(),
-                        "{} must stay clean at {mode:?}: {report:?}",
+                        "{} must stay clean at {level}: {report:?}",
                         a.name()
                     ),
                     Expected::Detect(kind) => prop_assert!(
                         report.iter().any(|v| v.kind() == kind),
-                        "{} must trip {kind} at {mode:?}: {report:?}",
+                        "{} must trip {kind} at {level}: {report:?}",
                         a.name()
                     ),
                 }

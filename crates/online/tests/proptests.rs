@@ -8,7 +8,7 @@
 //! * AION agrees with CHRONOS on arbitrary (valid and corrupted) histories.
 
 use aion_core::check_si_report;
-use aion_online::{AionConfig, Mode, OnlineChecker, OnlineGcPolicy, VersionedMap};
+use aion_online::{AionConfig, OnlineChecker, OnlineGcPolicy, VersionedMap};
 use aion_types::{
     AxiomKind, DataKind, EventKey, FxHashMap, History, Key, SessionId, Snapshot, SplitMix64,
     Timestamp, Transaction, TxnId, Value,
@@ -104,16 +104,20 @@ proptest! {
             let got = idx.register(
                 key,
                 TxnId(tid),
+                true,
                 EventKey::start(Timestamp(s), TxnId(tid)),
                 EventKey::commit(Timestamp(c), TxnId(tid)),
                 false,
             );
-            let mut want: Vec<TxnId> = seen
+            let mut want: Vec<aion_online::index::OngoingWriter> = seen
                 .iter()
                 .filter(|(pk, _, ps, pc)| *pk == key && *ps <= c && s <= *pc)
-                .map(|(_, pt, _, _)| TxnId(*pt))
+                .map(|(_, pt, _, _)| aion_online::index::OngoingWriter {
+                    tid: TxnId(*pt),
+                    noconflict: true,
+                })
                 .collect();
-            want.sort_unstable();
+            want.sort_unstable_by_key(|w| w.tid);
             prop_assert_eq!(got, want, "interval ({},{}) on {:?}", s, c, key);
             seen.push((key, tid, s, c));
         }
@@ -259,7 +263,7 @@ proptest! {
         let shuffled = session_respecting_shuffle(&h, shuffle_seed);
         let online = run_online(
             &shuffled,
-            AionConfig::builder().kind(h.kind).mode(Mode::Ser).config(),
+            AionConfig::builder().kind(h.kind).level(IsolationLevel::Ser).config(),
         );
         prop_assert_eq!(counts(&online.report), offline);
     }

@@ -8,7 +8,7 @@
 //! checks (SESSION, integrity, Eq. (1)) run once in the coordinator, so
 //! nothing may differ but event timing and work distribution.
 
-use aion_online::{AionConfig, Mode, OnlineChecker, ShardedChecker};
+use aion_online::{AionConfig, OnlineChecker, ShardedChecker};
 use aion_types::{
     AxiomKind, Checker, History, Outcome, SessionId, Snapshot, SplitMix64, Transaction, Value,
 };
@@ -200,7 +200,7 @@ proptest! {
         let mut h = generate_history(&spec, IsolationLevel::Si);
         corrupt(&mut h, corruption);
         let arrivals = session_respecting_shuffle(&h, shuffle_seed);
-        let cfg = || AionConfig::builder().kind(h.kind).mode(Mode::Ser);
+        let cfg = || AionConfig::builder().kind(h.kind).level(IsolationLevel::Ser);
         let single = drive(OnlineChecker::new(cfg().config()), &arrivals);
         for shards in [2usize, 4] {
             let sharded =

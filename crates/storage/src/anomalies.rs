@@ -27,8 +27,8 @@
 //! every cell; see `docs/conformance.md`.
 
 use aion_types::{
-    AxiomKind, FxHashMap, FxHashSet, History, Key, Mutation, Op, SessionId, Snapshot, Timestamp,
-    Value,
+    AxiomKind, FxHashMap, FxHashSet, History, IsolationLevel, Key, Mutation, Op, SessionId,
+    Snapshot, Timestamp, Value,
 };
 
 use crate::faults::{inject_session_break, SplitMix64};
@@ -64,9 +64,22 @@ impl std::fmt::Display for Expected {
     }
 }
 
-/// The expectation tags of one anomaly class.
+/// The expectation tags of one anomaly class, per isolation level of
+/// the lattice. The per-level cells respect detection monotonicity
+/// along the comparable chains the lattice proptests assert
+/// (`RC ⊆ {RA, SI, SER}` and `RA ⊆ SI` on the shared axes); `Accept`
+/// cells are guaranteed by injector-side frontier-stability side
+/// conditions, exactly as the SI write-skew cell always was.
 #[derive(Clone, Copy, Debug)]
 pub struct AnomalyProfile {
+    /// Verdict a correct timestamp-based checker must reach under RC
+    /// (commit-anchored membership reads: staleness is legal, phantom /
+    /// intermediate / future values are not; start timestamps ignored).
+    pub rc: Expected,
+    /// Verdict under RA (start-anchored frontier reads, no NOCONFLICT:
+    /// concurrent writers and lost updates are legal, fractured or
+    /// stale snapshots are not).
+    pub ra: Expected,
     /// Verdict a correct timestamp-based checker must reach under SI.
     pub si: Expected,
     /// Verdict a correct timestamp-based checker must reach under SER.
@@ -79,6 +92,21 @@ pub struct AnomalyProfile {
     /// derives its guaranteed black-box-reject cells from this tag;
     /// evidence-dependent cells are pinned per workload there.
     pub value_visible: bool,
+}
+
+impl AnomalyProfile {
+    /// The expectation at one lattice level. Levels without a dedicated
+    /// cell (future lattice points) default to the SI expectation — the
+    /// paper's home level — so callers degrade predictably.
+    pub fn expected_at(&self, level: IsolationLevel) -> Expected {
+        match level {
+            IsolationLevel::ReadCommitted => self.rc,
+            IsolationLevel::ReadAtomic => self.ra,
+            IsolationLevel::Si => self.si,
+            IsolationLevel::Ser => self.ser,
+            _ => self.si,
+        }
+    }
 }
 
 /// One anomaly class of the injection matrix.
@@ -162,62 +190,135 @@ impl Anomaly {
         }
     }
 
-    /// The expectation tags for timestamp-based checkers.
+    /// The expectation tags for timestamp-based checkers, across the
+    /// whole level lattice.
     pub fn profile(self) -> AnomalyProfile {
         use AxiomKind::*;
         use Expected::{Accept, Detect};
         match self {
-            // Overlapping writers are exactly SI's NOCONFLICT; under SER
-            // commit-timestamp arbitration serializes the writes, so the
-            // overlap alone is unobservable. No value is wrong, so
-            // black-box checkers cannot see it.
-            Anomaly::DirtyWrite => {
-                AnomalyProfile { si: Detect(NoConflict), ser: Accept, value_visible: false }
-            }
-            Anomaly::AbortedRead => {
-                AnomalyProfile { si: Detect(Ext), ser: Detect(Ext), value_visible: true }
-            }
-            Anomaly::IntermediateRead => {
-                AnomalyProfile { si: Detect(Ext), ser: Detect(Ext), value_visible: true }
-            }
+            // Overlapping writers are exactly SI's NOCONFLICT; the other
+            // three levels never check overlaps, and the injector keeps
+            // every read own-write-covered so the widened interval moves
+            // no read expectation. No value is wrong, so black-box
+            // checkers cannot see it.
+            Anomaly::DirtyWrite => AnomalyProfile {
+                rc: Accept,
+                ra: Accept,
+                si: Detect(NoConflict),
+                ser: Accept,
+                value_visible: false,
+            },
+            // A value no committed transaction produced: not a member of
+            // any version chain — EXT everywhere, even RC.
+            Anomaly::AbortedRead => AnomalyProfile {
+                rc: Detect(Ext),
+                ra: Detect(Ext),
+                si: Detect(Ext),
+                ser: Detect(Ext),
+                value_visible: true,
+            },
+            // Only *final* writes become versions, so the intermediate
+            // observation fails RC's membership too (Adya G1b is a
+            // read-committed anomaly).
+            Anomaly::IntermediateRead => AnomalyProfile {
+                rc: Detect(Ext),
+                ra: Detect(Ext),
+                si: Detect(Ext),
+                ser: Detect(Ext),
+                value_visible: true,
+            },
             // Under SI the stale read is snapshot-consistent and the
             // concurrent write pair trips NOCONFLICT; under SER the read
             // misses the earlier committer at its commit anchor (EXT).
-            Anomaly::LostUpdate => {
-                AnomalyProfile { si: Detect(NoConflict), ser: Detect(Ext), value_visible: true }
-            }
-            Anomaly::WriteSkew => {
-                AnomalyProfile { si: Accept, ser: Detect(Ext), value_visible: false }
-            }
-            Anomaly::ReadSkew => {
-                AnomalyProfile { si: Detect(Ext), ser: Detect(Ext), value_visible: false }
-            }
-            Anomaly::FutureRead => {
-                AnomalyProfile { si: Detect(Ext), ser: Detect(Ext), value_visible: false }
-            }
-            Anomaly::IntViolation => {
-                AnomalyProfile { si: Detect(Int), ser: Detect(Int), value_visible: false }
-            }
+            // RA famously *permits* lost updates (RAMP transactions):
+            // the forked snapshot is frontier-exact at the moved start
+            // and overlaps are not checked. RC accepts a fortiori.
+            Anomaly::LostUpdate => AnomalyProfile {
+                rc: Accept,
+                ra: Accept,
+                si: Detect(NoConflict),
+                ser: Detect(Ext),
+                value_visible: true,
+            },
+            // The classic SI-legal anomaly: both appended reads are
+            // snapshot-consistent, so every level below SER accepts.
+            Anomaly::WriteSkew => AnomalyProfile {
+                rc: Accept,
+                ra: Accept,
+                si: Accept,
+                ser: Detect(Ext),
+                value_visible: false,
+            },
+            // The stale observation is a real committed version: legal
+            // under RC's membership predicate, a fractured snapshot at
+            // every frontier-exact level.
+            Anomaly::ReadSkew => AnomalyProfile {
+                rc: Accept,
+                ra: Detect(Ext),
+                si: Detect(Ext),
+                ser: Detect(Ext),
+                value_visible: false,
+            },
+            // The observed version commits after the reader's commit —
+            // above even RC's anchor, so no level accepts it.
+            Anomaly::FutureRead => AnomalyProfile {
+                rc: Detect(Ext),
+                ra: Detect(Ext),
+                si: Detect(Ext),
+                ser: Detect(Ext),
+                value_visible: false,
+            },
+            // INT and collection integrity are level-independent.
+            Anomaly::IntViolation => AnomalyProfile {
+                rc: Detect(Int),
+                ra: Detect(Int),
+                si: Detect(Int),
+                ser: Detect(Int),
+                value_visible: false,
+            },
             Anomaly::DuplicateTid => AnomalyProfile {
+                rc: Detect(Integrity),
+                ra: Detect(Integrity),
                 si: Detect(Integrity),
                 ser: Detect(Integrity),
                 value_visible: false,
             },
             Anomaly::DuplicateTimestamp => AnomalyProfile {
+                rc: Detect(Integrity),
+                ra: Detect(Integrity),
                 si: Detect(Integrity),
                 ser: Detect(Integrity),
                 value_visible: false,
             },
-            Anomaly::SessionBreak => {
-                AnomalyProfile { si: Detect(Session), ser: Detect(Session), value_visible: false }
-            }
-            // Start skew only moves read anchors, which SER ignores.
-            Anomaly::ClockSkewStart => {
-                AnomalyProfile { si: Detect(Ext), ser: Accept, value_visible: false }
-            }
-            Anomaly::ClockSkewCommit => {
-                AnomalyProfile { si: Detect(Ext), ser: Detect(Ext), value_visible: false }
-            }
+            // Swapped sequence numbers break the sno chain, which every
+            // session predicate (snapshot- and commit-ordered) checks.
+            Anomaly::SessionBreak => AnomalyProfile {
+                rc: Detect(Session),
+                ra: Detect(Session),
+                si: Detect(Session),
+                ser: Detect(Session),
+                value_visible: false,
+            },
+            // Start skew only moves read anchors, which the
+            // commit-anchored levels (SER, RC) ignore entirely.
+            Anomaly::ClockSkewStart => AnomalyProfile {
+                rc: Accept,
+                ra: Detect(Ext),
+                si: Detect(Ext),
+                ser: Accept,
+                value_visible: false,
+            },
+            // The reader's untouched observation is still a committed
+            // version below its commit anchor — RC's membership accepts
+            // — but every frontier-exact level now sees it miss the
+            // skewed write.
+            Anomaly::ClockSkewCommit => AnomalyProfile {
+                rc: Accept,
+                ra: Detect(Ext),
+                si: Detect(Ext),
+                ser: Detect(Ext),
+                value_visible: false,
+            },
         }
     }
 
@@ -455,10 +556,14 @@ pub fn inject_intermediate_read(h: &mut History, rate: f64, seed: u64) -> usize 
 /// G0: make a writer concurrent with the previous committed writer of
 /// one of its keys by pulling its recorded `start_ts` below that
 /// writer's commit. Values are untouched, so value-based checkers see
-/// nothing; under SER (commit-order arbitration, start timestamps
-/// ignored) the history still passes; under SI the overlapping writer
-/// pair is exactly NOCONFLICT — possibly alongside EXT noise from the
-/// moved snapshot, which the widened interval genuinely implies.
+/// nothing; under SER, RA and RC (which never check overlaps) the
+/// history still passes; under SI the overlapping writer pair is
+/// exactly NOCONFLICT. A frontier-stability side condition guards the
+/// move: every key the transaction reads externally must have no
+/// foreign version committed across the widened interval, so no read
+/// expectation changes — the *only* planted fact is the overlap, which
+/// is what lets the weaker levels guarantee `Accept` rather than
+/// tolerating EXT noise.
 pub fn inject_dirty_write(h: &mut History, rate: f64, seed: u64) -> usize {
     let mut cat = Catalog::new(h);
     let mut rng = SplitMix64::new(seed ^ 0xd0d0);
@@ -476,6 +581,25 @@ pub fn inject_dirty_write(h: &mut History, rate: f64, seed: u64) -> usize {
         };
         let Some((w_commit, w_idx, _)) = cat.latest_before(key, t.start_ts) else { continue };
         debug_assert_ne!(w_idx, i, "a version below start_ts is by another txn");
+        // Frontier stability across the widened interval: no key the
+        // transaction reads externally may gain or lose a foreign
+        // version between the deepest landing point of the moved start
+        // (`free_ts_below` probes at most 33 below the partner's
+        // commit) and the current start — otherwise the move would
+        // change that read's expected value and leak EXT noise into
+        // the weaker levels' `Accept` cells.
+        let window_lo = Timestamp(w_commit.get().saturating_sub(33));
+        let stable = frontier_read_keys(t).iter().all(|rk| match cat.versions.get(rk) {
+            None => true,
+            Some(vs) => {
+                let lo = vs.partition_point(|&(c, _, _)| c < window_lo);
+                let hi = vs.partition_point(|&(c, _, _)| c < t.start_ts);
+                vs[lo..hi].iter().all(|&(_, w, _)| w == i)
+            }
+        });
+        if !stable {
+            continue;
+        }
         let floor = cat.pred_commit[i];
         let Some(new_start) = cat.free_ts_below(w_commit, floor) else { continue };
         vacate_start(&mut cat, &h.txns[i]);
@@ -483,6 +607,32 @@ pub fn inject_dirty_write(h: &mut History, rate: f64, seed: u64) -> usize {
         planted += 1;
     }
     planted
+}
+
+/// The keys whose reads in `t` consult the frontier (not preceded by an
+/// own write): such reads anchor at the snapshot, so moving timestamps
+/// changes their expected values unless the frontier is stable.
+fn frontier_read_keys(t: &aion_types::Transaction) -> Vec<Key> {
+    let mut written: FxHashSet<Key> = FxHashSet::default();
+    let mut keys = Vec::new();
+    for op in &t.ops {
+        match op {
+            Op::Read { key, .. } if !written.contains(key) && !keys.contains(key) => {
+                keys.push(*key);
+            }
+            Op::Write { key, .. } => {
+                written.insert(*key);
+            }
+            _ => {}
+        }
+    }
+    keys
+}
+
+/// True when any read of `t` consults the frontier (shorthand over
+/// [`frontier_read_keys`]).
+fn has_frontier_reads(t: &aion_types::Transaction) -> bool {
+    !frontier_read_keys(t).is_empty()
 }
 
 /// Remove a transaction's start timestamp from the used set unless its
@@ -888,10 +1038,15 @@ pub fn inject_snapshot_skew(h: &mut History, rate: f64, seed: u64) -> usize {
 /// — the recorded commit order now claims the write was visible before
 /// it really was, the paper's YugabyteDB scenario. Values are untouched;
 /// the reader's unperturbed observation becomes an EXT violation at
-/// both levels (its anchors now lie above the skewed commit). Session
-/// order and Eq. (1) are preserved, and the shift never crosses the
-/// previous version of the perturbed key, so exactly the commit-order
-/// anomaly is planted.
+/// every frontier-exact level (its anchors now lie above the skewed
+/// commit). Session order and Eq. (1) are preserved, the shift never
+/// crosses the previous version of the perturbed key, and only
+/// read-stable writers (every read own-write-covered) are skewed — a
+/// writer with frontier reads would drag its *own* observations above
+/// its relocated commit anchor, which would break the RC `Accept`
+/// guarantee (RC anchors reads at the commit event). Moving a version
+/// earlier can only widen every other reader's membership set, so
+/// exactly the commit-order anomaly is planted.
 pub fn inject_commit_skew(h: &mut History, rate: f64, seed: u64) -> usize {
     let mut cat = Catalog::new(h);
     let mut rng = SplitMix64::new(seed ^ 0xc057);
@@ -928,8 +1083,17 @@ pub fn inject_commit_skew(h: &mut History, rate: f64, seed: u64) -> usize {
         let Some(new_commit) = cat.free_ts_below(r_start, floor) else { continue };
         // Eq. (1): when the skewed commit descends below the writer's
         // own recorded start, the same lagging clock stamps the start
-        // too. Session order bounds how far down it can go.
+        // too. Session order bounds how far down it can go — and a
+        // writer with frontier reads must keep its start where it is
+        // (its observations anchor there, and they must also stay
+        // below the relocated commit for RC's membership): such
+        // writers only qualify when no start fix-up is needed, i.e.
+        // their whole execution already sits below the new commit.
         if h.txns[w_idx].start_ts >= new_commit {
+            if has_frontier_reads(&h.txns[w_idx]) {
+                cat.used_ts.remove(&new_commit);
+                continue;
+            }
             let Some(new_start) = cat.free_ts_below(new_commit, cat.pred_commit[w_idx]) else {
                 cat.used_ts.remove(&new_commit);
                 continue;

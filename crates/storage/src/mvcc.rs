@@ -235,6 +235,7 @@ impl StoreTxn for MvccTxn {
                 start_ts: self.start_ts,
                 commit_ts: self.start_ts,
                 ops: std::mem::take(&mut self.ops),
+                level: None,
             });
         }
 
@@ -277,6 +278,7 @@ impl StoreTxn for MvccTxn {
             start_ts: self.start_ts,
             commit_ts,
             ops: std::mem::take(&mut self.ops),
+            level: None,
         })
     }
 }

@@ -235,6 +235,7 @@ impl StoreTxn for TwoPlTxn {
             start_ts: self.start_ts,
             commit_ts,
             ops: std::mem::take(&mut self.ops),
+            level: None,
         })
     }
 }

@@ -36,29 +36,19 @@
 //! `finish`.
 
 use crate::ids::{Key, TxnId};
+use crate::level::IsolationLevel;
 use crate::txn::Transaction;
 use crate::violation::{CheckReport, Violation};
 
-/// Which isolation level a checker enforces.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
-pub enum Mode {
-    /// Snapshot isolation (AION / CHRONOS).
-    #[default]
-    Si,
-    /// Serializability under commit-timestamp arbitration (AION-SER /
-    /// CHRONOS-SER, paper §VI-A).
-    Ser,
-}
-
-impl Mode {
-    /// Lower-case label used in checker names and experiment tables.
-    pub fn label(self) -> &'static str {
-        match self {
-            Mode::Si => "si",
-            Mode::Ser => "ser",
-        }
-    }
-}
+/// Pre-lattice name of [`IsolationLevel`], kept so pre-PR-5 callers
+/// (`Mode::Si`, `builder().mode(Mode::Ser)`) still compile. The alias
+/// resolves to the full four-level lattice; exhaustive `match`es must
+/// grow a wildcard arm.
+#[deprecated(
+    since = "0.6.0",
+    note = "renamed to `aion_types::IsolationLevel`; the two-variant era is over"
+)]
+pub type Mode = IsolationLevel;
 
 /// One incremental observation from a streaming checking session.
 ///
@@ -294,12 +284,31 @@ pub struct Outcome {
     pub accepted: Option<bool>,
     /// Human-readable findings (baseline anomalies, cycles, DNF notes).
     pub notes: Vec<String>,
+    /// `Some(level)` when the checker cannot evaluate the requested
+    /// isolation level at all (e.g. the black-box baselines handed an
+    /// RC or RA session): the session produced *no verdict* — neither
+    /// an accept nor a violation report — and [`Outcome::is_ok`] is
+    /// conservatively `false`.
+    pub unsupported: Option<IsolationLevel>,
 }
 
 impl Outcome {
     /// An outcome carrying a violation report.
     pub fn new(checker: &'static str, report: CheckReport, txns: usize) -> Outcome {
         Outcome { checker, txns, report, ..Outcome::default() }
+    }
+
+    /// The typed "this checker cannot evaluate `level`" outcome — what
+    /// the baseline adapters return for levels outside their inference
+    /// (instead of silently checking something else, or panicking).
+    pub fn unsupported(checker: &'static str, level: IsolationLevel, txns: usize) -> Outcome {
+        Outcome {
+            checker,
+            txns,
+            unsupported: Some(level),
+            notes: vec![format!("isolation level {level} is outside this checker's model")],
+            ..Outcome::default()
+        }
     }
 
     /// Attach runtime counters.
@@ -326,19 +335,22 @@ impl Outcome {
         self
     }
 
-    /// True when the history passed: no violations, and (for checkers
-    /// with an explicit verdict) the history was accepted.
+    /// True when the history passed: no violations, (for checkers with
+    /// an explicit verdict) the history was accepted, and the requested
+    /// level was actually evaluated — an [`Outcome::unsupported`]
+    /// session never counts as a pass.
     pub fn is_ok(&self) -> bool {
-        self.report.is_ok() && self.accepted.unwrap_or(true)
+        self.unsupported.is_none() && self.report.is_ok() && self.accepted.unwrap_or(true)
     }
 }
 
 impl std::fmt::Display for Outcome {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let verdict = match self.accepted {
-            Some(true) => "ACCEPT".to_string(),
-            Some(false) => format!("REJECT ({} findings)", self.notes.len()),
-            None => self.report.summary(),
+        let verdict = match (self.unsupported, self.accepted) {
+            (Some(level), _) => format!("UNSUPPORTED({level})"),
+            (None, Some(true)) => "ACCEPT".to_string(),
+            (None, Some(false)) => format!("REJECT ({} findings)", self.notes.len()),
+            (None, None) => self.report.summary(),
         };
         write!(f, "{}: {} over {} txns", self.checker, verdict, self.txns)
     }
@@ -409,10 +421,24 @@ mod tests {
         assert!(v.is_violation());
     }
 
+    /// Pre-PR-5 source compatibility: the deprecated `Mode` alias still
+    /// resolves, constructs, and labels.
     #[test]
-    fn mode_labels() {
+    #[allow(deprecated)]
+    fn mode_alias_stays_source_compatible() {
         assert_eq!(Mode::Si.label(), "si");
         assert_eq!(Mode::Ser.label(), "ser");
         assert_eq!(Mode::default(), Mode::Si);
+        assert_eq!(Mode::Si, IsolationLevel::Si);
+    }
+
+    #[test]
+    fn unsupported_outcome_is_not_a_pass() {
+        let o = Outcome::unsupported("elle-rc", IsolationLevel::ReadCommitted, 7);
+        assert!(!o.is_ok());
+        assert_eq!(o.unsupported, Some(IsolationLevel::ReadCommitted));
+        assert_eq!(o.txns, 7);
+        assert!(o.to_string().contains("UNSUPPORTED(rc)"), "{o}");
+        assert!(o.report.is_ok(), "no violations were reported");
     }
 }

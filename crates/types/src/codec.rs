@@ -18,8 +18,16 @@
 //!          2 put           key value
 //!          3 append        key elem
 //! ```
+//!
+//! Histories whose transactions carry declared isolation levels are
+//! written under the magic `b"AIONH2"` instead: each transaction gains
+//! one *level byte* between `commit` and `nops` (`0` = none, `1` = RC,
+//! `2` = RA, `3` = SI, `4` = SER). Level-free histories keep emitting
+//! byte-identical `AIONH1`, so pre-lattice files and fixtures never
+//! change; [`decode_history`] reads both generations.
 
 use crate::ids::{Key, SessionId, Timestamp, TxnId, Value};
+use crate::level::IsolationLevel;
 use crate::op::{DataKind, Mutation, Op, Snapshot};
 use crate::txn::Transaction;
 use crate::History;
@@ -27,6 +35,7 @@ use bytes::{Buf, BufMut, BytesMut};
 use std::fmt;
 
 const MAGIC: &[u8; 6] = b"AIONH1";
+const MAGIC_V2: &[u8; 6] = b"AIONH2";
 
 /// Errors produced while decoding.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -41,6 +50,8 @@ pub enum CodecError {
     BadTag(u8),
     /// A varint longer than 10 bytes (corrupt input).
     VarintOverflow,
+    /// An unknown isolation-level byte in an `AIONH2` stream.
+    BadLevel(u8),
     /// Text parse error with line number and message.
     Text(usize, String),
 }
@@ -53,6 +64,7 @@ impl fmt::Display for CodecError {
             CodecError::BadKind(k) => write!(f, "unknown data kind byte {k}"),
             CodecError::BadTag(t) => write!(f, "unknown op tag {t}"),
             CodecError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            CodecError::BadLevel(b) => write!(f, "unknown isolation-level byte {b}"),
             CodecError::Text(line, msg) => write!(f, "text parse error on line {line}: {msg}"),
         }
     }
@@ -185,59 +197,126 @@ pub fn get_op(buf: &mut impl Buf) -> Result<Op, CodecError> {
     }
 }
 
-/// Encode a transaction (used standalone by the spill files).
+/// Encode an optional declared isolation level as one byte (the
+/// `AIONH2` level byte).
+pub fn level_to_byte(level: Option<IsolationLevel>) -> u8 {
+    match level {
+        None => 0,
+        Some(IsolationLevel::ReadCommitted) => 1,
+        Some(IsolationLevel::ReadAtomic) => 2,
+        Some(IsolationLevel::Si) => 3,
+        // A future level must claim its byte here before being written.
+        Some(IsolationLevel::Ser) => 4,
+    }
+}
+
+/// Decode an `AIONH2` level byte.
+pub fn level_from_byte(b: u8) -> Result<Option<IsolationLevel>, CodecError> {
+    match b {
+        0 => Ok(None),
+        1 => Ok(Some(IsolationLevel::ReadCommitted)),
+        2 => Ok(Some(IsolationLevel::ReadAtomic)),
+        3 => Ok(Some(IsolationLevel::Si)),
+        4 => Ok(Some(IsolationLevel::Ser)),
+        b => Err(CodecError::BadLevel(b)),
+    }
+}
+
+/// Encode a transaction in the level-free `AIONH1` layout. Any declared
+/// level is dropped; use [`put_txn_ext`] where levels must survive.
 pub fn put_txn(buf: &mut impl BufMut, t: &Transaction) {
+    put_txn_prefix(buf, t);
+    put_txn_ops(buf, t);
+}
+
+/// Encode a transaction in the `AIONH2` layout (level byte included).
+pub fn put_txn_ext(buf: &mut impl BufMut, t: &Transaction) {
+    put_txn_prefix(buf, t);
+    buf.put_u8(level_to_byte(t.level));
+    put_txn_ops(buf, t);
+}
+
+fn put_txn_prefix(buf: &mut impl BufMut, t: &Transaction) {
     put_varint(buf, t.tid.0);
     put_varint(buf, u64::from(t.sid.0));
     put_varint(buf, u64::from(t.sno));
     put_varint(buf, t.start_ts.0);
     put_varint(buf, t.commit_ts.0);
+}
+
+fn put_txn_ops(buf: &mut impl BufMut, t: &Transaction) {
     put_varint(buf, t.ops.len() as u64);
     for op in &t.ops {
         put_op(buf, op);
     }
 }
 
-/// Decode a transaction.
+/// Decode an `AIONH1`-layout transaction (no level byte).
 pub fn get_txn(buf: &mut impl Buf) -> Result<Transaction, CodecError> {
+    get_txn_inner(buf, false)
+}
+
+/// Decode an `AIONH2`-layout transaction (level byte present).
+pub fn get_txn_ext(buf: &mut impl Buf) -> Result<Transaction, CodecError> {
+    get_txn_inner(buf, true)
+}
+
+fn get_txn_inner(buf: &mut impl Buf, ext: bool) -> Result<Transaction, CodecError> {
     let tid = TxnId(get_varint(buf)?);
     let sid = SessionId(get_varint(buf)? as u32);
     let sno = get_varint(buf)? as u32;
     let start_ts = Timestamp(get_varint(buf)?);
     let commit_ts = Timestamp(get_varint(buf)?);
+    let level = if ext {
+        if !buf.has_remaining() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        level_from_byte(buf.get_u8())?
+    } else {
+        None
+    };
     let nops = get_varint(buf)? as usize;
     let mut ops = Vec::with_capacity(nops.min(1 << 20));
     for _ in 0..nops {
         ops.push(get_op(buf)?);
     }
-    Ok(Transaction { tid, sid, sno, start_ts, commit_ts, ops })
+    Ok(Transaction { tid, sid, sno, start_ts, commit_ts, ops, level })
 }
 
-/// Encode a whole history to bytes.
+/// Encode a whole history to bytes: level-free histories emit the
+/// byte-stable `AIONH1` layout; histories with any declared level emit
+/// `AIONH2` (one level byte per transaction).
 pub fn encode_history(h: &History) -> Vec<u8> {
+    let ext = h.txns.iter().any(|t| t.level.is_some());
     let mut buf = BytesMut::with_capacity(64 + h.txns.len() * 32);
-    buf.put_slice(MAGIC);
+    buf.put_slice(if ext { MAGIC_V2 } else { MAGIC });
     buf.put_u8(match h.kind {
         DataKind::Kv => 0,
         DataKind::List => 1,
     });
     put_varint(&mut buf, h.txns.len() as u64);
     for t in &h.txns {
-        put_txn(&mut buf, t);
+        if ext {
+            put_txn_ext(&mut buf, t);
+        } else {
+            put_txn(&mut buf, t);
+        }
     }
     buf.to_vec()
 }
 
-/// Decode a history from bytes.
+/// Decode a history from bytes (either `AIONH1` or `AIONH2`).
 pub fn decode_history(mut data: &[u8]) -> Result<History, CodecError> {
     if data.remaining() < MAGIC.len() + 1 {
         return Err(CodecError::UnexpectedEof);
     }
     let mut magic = [0u8; 6];
     data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(CodecError::BadMagic);
-    }
+    let ext = match &magic {
+        m if m == MAGIC => false,
+        m if m == MAGIC_V2 => true,
+        _ => return Err(CodecError::BadMagic),
+    };
     let kind = match data.get_u8() {
         0 => DataKind::Kv,
         1 => DataKind::List,
@@ -247,7 +326,7 @@ pub fn decode_history(mut data: &[u8]) -> Result<History, CodecError> {
     let mut h = History::new(kind);
     h.txns.reserve(count.min(1 << 24));
     for _ in 0..count {
-        h.push(get_txn(&mut data)?);
+        h.push(get_txn_inner(&mut data, ext)?);
     }
     Ok(h)
 }
@@ -269,6 +348,9 @@ pub fn emit_text(h: &History) -> String {
     for t in &h.txns {
         let _ =
             write!(out, "T t{} s{} n{} [{},{}]", t.tid.0, t.sid.0, t.sno, t.start_ts, t.commit_ts);
+        if let Some(level) = t.level {
+            let _ = write!(out, " @{}", level.label());
+        }
         for op in &t.ops {
             let _ = write!(out, " {op:?}");
         }
@@ -330,8 +412,15 @@ pub fn parse_text(input: &str) -> Result<History, CodecError> {
         let (s, c) = inner.split_once(',').ok_or_else(|| err("bad interval"))?;
         let start = s.parse::<u64>().map_err(|_| err("bad start ts"))?;
         let commit = c.parse::<u64>().map_err(|_| err("bad commit ts"))?;
+        let mut level = None;
         let mut ops = Vec::new();
         for tok in parts {
+            if let Some(label) = tok.strip_prefix('@') {
+                level = Some(IsolationLevel::parse(label).ok_or_else(|| {
+                    CodecError::Text(lineno, format!("unknown level '@{label}'"))
+                })?);
+                continue;
+            }
             ops.push(parse_op(tok).map_err(|m| CodecError::Text(lineno, m))?);
         }
         h.push(Transaction {
@@ -341,6 +430,7 @@ pub fn parse_text(input: &str) -> Result<History, CodecError> {
             start_ts: Timestamp(start),
             commit_ts: Timestamp(commit),
             ops,
+            level,
         });
     }
     Ok(h.unwrap_or_else(|| History::new(kind)))
@@ -493,5 +583,78 @@ mod tests {
         put_txn(&mut buf, &t);
         let mut slice = &buf[..];
         assert_eq!(get_txn(&mut slice).unwrap(), t);
+    }
+
+    fn mixed_level_history() -> History {
+        let mut h = sample_kv();
+        h.txns[0].level = Some(IsolationLevel::ReadCommitted);
+        h.txns[1].level = Some(IsolationLevel::Ser);
+        h.push(TxnBuilder::new(3).session(2, 0).interval(50, 60).build()); // undeclared
+        h
+    }
+
+    #[test]
+    fn level_free_histories_stay_byte_identical_aionh1() {
+        let bytes = encode_history(&sample_kv());
+        assert_eq!(&bytes[..6], MAGIC, "no level ⇒ v1 magic, old fixtures unchanged");
+        // A declared level flips the whole stream to AIONH2.
+        let bytes2 = encode_history(&mixed_level_history());
+        assert_eq!(&bytes2[..6], MAGIC_V2);
+    }
+
+    #[test]
+    fn aionh2_roundtrips_levels_losslessly() {
+        let h = mixed_level_history();
+        let back = decode_history(&encode_history(&h)).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.txns[0].level, Some(IsolationLevel::ReadCommitted));
+        assert_eq!(back.txns[2].level, None);
+        // Standalone ext txn encode (the spill-store path).
+        let mut buf = BytesMut::new();
+        put_txn_ext(&mut buf, &h.txns[0]);
+        let mut slice = &buf[..];
+        assert_eq!(get_txn_ext(&mut slice).unwrap(), h.txns[0]);
+        // The v1 txn codec drops the declaration by design.
+        let mut buf = BytesMut::new();
+        put_txn(&mut buf, &h.txns[0]);
+        let mut slice = &buf[..];
+        assert_eq!(get_txn(&mut slice).unwrap().level, None);
+    }
+
+    #[test]
+    fn bad_level_byte_is_typed() {
+        let h = mixed_level_history();
+        let mut bytes = encode_history(&h);
+        // The level byte of the first transaction sits right after its
+        // five varint prefix fields; find it by re-encoding the prefix.
+        let mut prefix = BytesMut::new();
+        prefix.put_slice(MAGIC_V2);
+        prefix.put_u8(0);
+        put_varint(&mut prefix, h.txns.len() as u64);
+        put_varint(&mut prefix, h.txns[0].tid.0);
+        put_varint(&mut prefix, u64::from(h.txns[0].sid.0));
+        put_varint(&mut prefix, u64::from(h.txns[0].sno));
+        put_varint(&mut prefix, h.txns[0].start_ts.0);
+        put_varint(&mut prefix, h.txns[0].commit_ts.0);
+        let at = prefix.len();
+        bytes[at] = 99;
+        assert_eq!(decode_history(&bytes), Err(CodecError::BadLevel(99)));
+        assert_eq!(level_from_byte(99), Err(CodecError::BadLevel(99)));
+        for l in IsolationLevel::ALL {
+            assert_eq!(level_from_byte(level_to_byte(Some(*l))).unwrap(), Some(*l));
+        }
+        assert_eq!(level_from_byte(0).unwrap(), None);
+    }
+
+    #[test]
+    fn text_roundtrips_levels() {
+        let h = mixed_level_history();
+        let text = emit_text(&h);
+        assert!(text.contains("@rc") && text.contains("@ser"), "{text}");
+        assert_eq!(parse_text(&text).unwrap(), h);
+        assert!(matches!(
+            parse_text("# aion-history kind=kv\nT t1 s0 n0 [1,2] @weird"),
+            Err(CodecError::Text(2, _))
+        ));
     }
 }

@@ -20,15 +20,21 @@ pub mod codec;
 pub mod fxhash;
 mod history;
 mod ids;
+pub mod level;
 mod op;
 pub mod rng;
 mod txn;
 mod violation;
 
-pub use check::{CheckEvent, Checker, CheckerStats, FlipSummary, Mode, Outcome, ShardConfig};
+#[allow(deprecated)] // the alias itself is the compatibility surface
+pub use check::Mode;
+pub use check::{CheckEvent, Checker, CheckerStats, FlipSummary, Outcome, ShardConfig};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use history::{History, HistoryStats, IntegrityIssue};
 pub use ids::{EventKey, EventKind, Key, SessionId, Timestamp, TxnId, Value};
+pub use level::{
+    ExtPredicate, IsolationLevel, LevelChecks, LevelPolicy, ReadAnchor, SessionPredicate,
+};
 pub use op::{
     apply, base_independent, classify_mismatch, expected_read, DataKind, ListValue, MismatchAxiom,
     Mutation, Op, Snapshot,

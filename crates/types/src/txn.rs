@@ -1,6 +1,7 @@
 //! Transactions: the unit of history collection and checking.
 
 use crate::ids::{EventKey, Key, SessionId, Timestamp, TxnId, Value};
+use crate::level::IsolationLevel;
 use crate::op::{Op, Snapshot};
 
 /// One committed transaction as observed by the history collector.
@@ -25,6 +26,12 @@ pub struct Transaction {
     pub commit_ts: Timestamp,
     /// Client-visible operations in program order.
     pub ops: Vec<Op>,
+    /// The isolation level this transaction was declared (ran) at, when
+    /// the collector recorded one. `None` means "whatever the checking
+    /// session's [`LevelPolicy`](crate::LevelPolicy) defaults to"; the
+    /// declaration only takes effect under
+    /// [`LevelPolicy::PerTxn`](crate::LevelPolicy::PerTxn).
+    pub level: Option<IsolationLevel>,
 }
 
 impl Transaction {
@@ -119,6 +126,7 @@ impl TxnBuilder {
                 start_ts: Timestamp::MIN,
                 commit_ts: Timestamp::MIN,
                 ops: Vec::new(),
+                level: None,
             },
         }
     }
@@ -164,6 +172,12 @@ impl TxnBuilder {
     /// Append an arbitrary operation.
     pub fn op(mut self, op: Op) -> Self {
         self.txn.ops.push(op);
+        self
+    }
+
+    /// Declare the transaction's isolation level (mixed-level checking).
+    pub fn level(mut self, level: IsolationLevel) -> Self {
+        self.txn.level = Some(level);
         self
     }
 

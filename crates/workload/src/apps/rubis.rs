@@ -31,13 +31,17 @@ impl Default for RubisParams {
 /// Generate `n_txns` RUBiS transactions.
 ///
 /// Mix: 40 % view-item, 25 % place-bid, 15 % browse, 10 % comment,
-/// 5 % register-user, 5 % list-item.
+/// 4.5 % register-user, 4.5 % list-item, 1 % update-profile (a blind
+/// rewrite of an in-history user row — the plain `UPDATE users SET …`
+/// every auction site has; it also gives the anomaly-injection matrix
+/// genuine overlapping-blind-writer material on RUBiS).
 pub fn rubis_templates(n_txns: usize, params: &RubisParams) -> Vec<TxnTemplate> {
     let mut rng = SplitMix64::new(params.seed ^ 0x2b1d);
     let mut users = params.users.max(1);
     let mut items = params.items.max(1);
     let mut bid_seq: Vec<u64> = vec![0; items as usize];
     let mut comment_seq: Vec<u64> = vec![0; users as usize];
+    let mut registered: Vec<u64> = Vec::new();
 
     let mut out = Vec::with_capacity(n_txns);
     for _ in 0..n_txns {
@@ -81,19 +85,28 @@ pub fn rubis_templates(n_txns: usize, params: &RubisParams) -> Vec<TxnTemplate> 
             ops.push(OpTemplate::Read(pack_key(TAG_USER, u, 0)));
             ops.push(OpTemplate::Write(pack_key(TAG_COMMENT, u, *seq)));
             *seq += 1;
-        } else if roll < 0.95 {
+        } else if roll < 0.94 {
             // Register a new user.
             let u = users;
             users += 1;
             comment_seq.push(0);
+            registered.push(u);
             ops.push(OpTemplate::Write(pack_key(TAG_USER, u, 0)));
-        } else {
+        } else if roll < 0.98 {
             // List a new item with an empty top bid.
             let i = items;
             items += 1;
             bid_seq.push(0);
             ops.push(OpTemplate::Write(pack_key(TAG_ITEM, i, 0)));
             ops.push(OpTemplate::Write(pack_key(TAG_TOP_BID, i, 0)));
+        } else {
+            // Update profile: blind rewrite of the *most recently*
+            // registered user's row (the registration-confirmation
+            // pattern; the temporal locality is also what gives the
+            // injectors a partner writer inside their session-order
+            // window). Falls back to user 0 before any registration.
+            let u = registered.last().copied().unwrap_or(0);
+            ops.push(OpTemplate::Write(pack_key(TAG_USER, u, 0)));
         }
         out.push(TxnTemplate::new(ops));
     }

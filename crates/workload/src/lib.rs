@@ -21,5 +21,5 @@ pub use runner::{
     generate_faulty_history, generate_history, run_interleaved, run_interleaved_with_recorder,
     run_templates, run_threaded, IsolationLevel, RunReport,
 };
-pub use spec::{table1, WorkloadSpec};
+pub use spec::{table1, LevelMix, WorkloadSpec};
 pub use templates::{generate_templates, OpTemplate, TxnTemplate};

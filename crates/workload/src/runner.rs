@@ -266,39 +266,46 @@ fn execute_once<S: Store>(
     txn.commit()
 }
 
-/// Which engine to generate a history with.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum IsolationLevel {
-    /// MVCC snapshot isolation (paper Algorithm 1).
-    Si,
-    /// Strict 2PL serializability.
-    Ser,
-}
+/// Which engine to generate a history with — since the level-lattice
+/// redesign this *is* [`aion_types::IsolationLevel`]: `Ser` runs the
+/// strict-2PL engine, every weaker level runs the MVCC-SI engine (an
+/// SI execution is valid at every level at or below SI).
+pub type IsolationLevel = aion_types::IsolationLevel;
 
-/// Generate a history for `spec` deterministically at the given level.
+/// Generate a history for `spec` deterministically at the given level,
+/// stamping declared per-transaction levels when
+/// [`WorkloadSpec::level_mix`](crate::WorkloadSpec) is set.
 pub fn generate_history(spec: &crate::WorkloadSpec, level: IsolationLevel) -> History {
     let templates = crate::generate_templates(spec);
     run_templates(spec, level, &templates)
 }
 
 /// Run pre-built templates (e.g. an application workload) under `spec`'s
-/// session count, seed and oracle stride at the given level.
+/// session count, seed and oracle stride at the given level, stamping
+/// declared per-transaction levels when the spec carries a
+/// [`LevelMix`](crate::LevelMix).
 pub fn run_templates(
     spec: &crate::WorkloadSpec,
     level: IsolationLevel,
     templates: &[TxnTemplate],
 ) -> History {
     let oracle = || Box::new(CentralOracle::with_stride(spec.ts_stride.max(1)));
-    match level {
-        IsolationLevel::Si => {
-            let store = MvccStore::with_oracle(spec.kind, oracle());
-            run_interleaved(&store, templates, spec.sessions, spec.seed).history
-        }
+    let mut history = match level {
         IsolationLevel::Ser => {
             let store = TwoPlStore::with_oracle(spec.kind, oracle());
             run_interleaved(&store, templates, spec.sessions, spec.seed).history
         }
+        // RC, RA and SI all execute on the MVCC-SI engine: its
+        // histories satisfy SI and therefore every weaker level.
+        _ => {
+            let store = MvccStore::with_oracle(spec.kind, oracle());
+            run_interleaved(&store, templates, spec.sessions, spec.seed).history
+        }
+    };
+    if let Some(mix) = spec.level_mix {
+        mix.stamp(&mut history, spec.seed);
     }
+    history
 }
 
 /// Generate an SI history with engine-side fault injection.

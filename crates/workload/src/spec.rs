@@ -1,7 +1,9 @@
-//! Workload specification — the paper's Table I.
+//! Workload specification — the paper's Table I — plus the mixed-level
+//! extension ([`LevelMix`]).
 
 use crate::dist::KeyDist;
-use aion_types::DataKind;
+use aion_types::rng::SplitMix64;
+use aion_types::{DataKind, History, IsolationLevel};
 
 /// Parameters of the default (parameterized) workload, Table I of the
 /// paper. The `Default` impl is the paper's "Default" column.
@@ -28,6 +30,10 @@ pub struct WorkloadSpec {
     /// strides leave gaps between timestamps, which the anomaly-injection
     /// matrix needs to relocate timestamps without collisions.
     pub ts_stride: u64,
+    /// When set, generated histories get *declared* per-transaction
+    /// isolation levels drawn from this mix (default: none — every
+    /// transaction's `level` stays `None`). See [`LevelMix`].
+    pub level_mix: Option<LevelMix>,
 }
 
 impl Default for WorkloadSpec {
@@ -42,6 +48,7 @@ impl Default for WorkloadSpec {
             kind: DataKind::Kv,
             seed: 42,
             ts_stride: 1,
+            level_mix: None,
         }
     }
 }
@@ -101,9 +108,95 @@ impl WorkloadSpec {
         self
     }
 
+    /// Builder: declare per-transaction isolation levels from a mix.
+    pub fn with_level_mix(mut self, mix: LevelMix) -> Self {
+        self.level_mix = Some(mix);
+        self
+    }
+
     /// Expected total operation count.
     pub fn total_ops(&self) -> usize {
         self.txns * self.ops_per_txn
+    }
+}
+
+/// A weighted mix of declared isolation levels for generated histories
+/// — the "every session picks its own level" deployment shape the mixed
+/// isolation-checking literature studies.
+///
+/// By default levels are drawn **per session** (a session keeps one
+/// level for its whole stream, the realistic granularity);
+/// [`LevelMix::per_txn`] draws independently per transaction instead.
+/// Stamping is deterministic in `(mix, seed)` and touches only the
+/// declared [`Transaction::level`](aion_types::Transaction) field —
+/// operations and timestamps are untouched, so a stamped history checks
+/// identically to its unstamped twin under any *uniform* policy.
+///
+/// Declaring a level **stronger** than the engine the history ran on
+/// (e.g. `ser` declarations over an MVCC-SI execution) is allowed and
+/// useful for violation studies, but such histories are not guaranteed
+/// clean; for histories valid at every declared level, keep the mix at
+/// or below the execution level, or generate serial (1-session) specs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelMix {
+    /// Weight of `rc` declarations (weights need not sum to 1).
+    pub rc: f64,
+    /// Weight of `ra` declarations.
+    pub ra: f64,
+    /// Weight of `si` declarations.
+    pub si: f64,
+    /// Weight of `ser` declarations.
+    pub ser: f64,
+    /// Draw per transaction instead of per session.
+    pub per_txn: bool,
+}
+
+impl LevelMix {
+    /// A per-session mix with the given weights.
+    pub fn sessions(rc: f64, ra: f64, si: f64, ser: f64) -> LevelMix {
+        LevelMix { rc, ra, si, ser, per_txn: false }
+    }
+
+    /// A per-transaction mix with the given weights.
+    pub fn per_txn(rc: f64, ra: f64, si: f64, ser: f64) -> LevelMix {
+        LevelMix { rc, ra, si, ser, per_txn: true }
+    }
+
+    /// An even four-way per-session split.
+    pub fn even() -> LevelMix {
+        LevelMix::sessions(1.0, 1.0, 1.0, 1.0)
+    }
+
+    fn draw(&self, rng: &mut SplitMix64) -> IsolationLevel {
+        let weights = [
+            (IsolationLevel::ReadCommitted, self.rc.max(0.0)),
+            (IsolationLevel::ReadAtomic, self.ra.max(0.0)),
+            (IsolationLevel::Si, self.si.max(0.0)),
+            (IsolationLevel::Ser, self.ser.max(0.0)),
+        ];
+        let total: f64 = weights.iter().map(|(_, w)| w).sum();
+        if total <= 0.0 {
+            return IsolationLevel::Si;
+        }
+        let mut at = rng.next_f64() * total;
+        for (level, w) in weights {
+            at -= w;
+            if at < 0.0 {
+                return level;
+            }
+        }
+        IsolationLevel::Ser
+    }
+
+    /// Stamp every transaction's declared level, deterministically in
+    /// `(self, seed)`.
+    pub fn stamp(&self, h: &mut History, seed: u64) {
+        for (i, t) in h.txns.iter_mut().enumerate() {
+            let draw_key = if self.per_txn { (i as u64) | (1 << 63) } else { u64::from(t.sid.0) };
+            let mut rng =
+                SplitMix64::new(seed ^ 0x11f7 ^ draw_key.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            t.level = Some(self.draw(&mut rng));
+        }
     }
 }
 

@@ -9,7 +9,7 @@
 //! cargo run --release --example online_monitoring
 //! ```
 
-use aion::online::{feed_plan, FeedConfig, Mode, OnlineChecker, OnlineGcPolicy};
+use aion::online::{feed_plan, FeedConfig, IsolationLevel, OnlineChecker, OnlineGcPolicy};
 use aion::prelude::*;
 use std::time::Instant;
 
@@ -38,7 +38,7 @@ fn main() {
 
     let mut checker = OnlineChecker::builder()
         .kind(history.kind)
-        .mode(Mode::Si)
+        .level(IsolationLevel::Si)
         .ext_timeout_ms(5_000) // the paper's conservative 5 s
         .gc(OnlineGcPolicy::Checking { max_txns: 4_000 })
         .track_flip_details(true)

@@ -15,7 +15,7 @@
 //! cargo run --release --example sharded_monitoring
 //! ```
 
-use aion::online::{feed_plan, FeedConfig, Mode, OnlineChecker};
+use aion::online::{feed_plan, FeedConfig, IsolationLevel, OnlineChecker};
 use aion::prelude::*;
 use std::time::Instant;
 
@@ -39,7 +39,7 @@ fn main() {
     for shards in [1usize, 4] {
         let mut checker = OnlineChecker::builder()
             .kind(history.kind)
-            .mode(Mode::Si)
+            .level(IsolationLevel::Si)
             .ext_timeout_ms(5_000)
             .shards(shards)
             .build_sharded()
