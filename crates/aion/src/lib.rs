@@ -17,6 +17,7 @@
 //! | [`workload`] | `aion-workload` | the paper's Table I workload, list workloads, Twitter/RUBiS/TPC-C-lite |
 //! | [`baselines`] | `aion-baselines` | Elle, Emme, PolySI, Viper, Cobra reconstructions |
 //! | [`io`] | `aion-io` | history interchange (JSONL/binary/dbcop/EDN) and streaming file ingestion |
+//! | [`serve`] | `aion-serve` | the multi-tenant online checking daemon: TCP ingestion, named sessions, checkpoint/restore (`docs/serve.md`) |
 //!
 //! ## The streaming session API
 //!
@@ -78,6 +79,7 @@ pub use aion_baselines as baselines;
 pub use aion_core as offline;
 pub use aion_io as io;
 pub use aion_online as online;
+pub use aion_serve as serve;
 pub use aion_storage as storage;
 pub use aion_types as types;
 pub use aion_workload as workload;
@@ -129,7 +131,10 @@ pub mod prelude {
     };
 
     pub use aion_io::{
-        open_path, open_stream, read_history, stream_check, verdict_of, write_history,
-        write_history_to_path, Format, HistoryReader, IoFormatError, ReaderOptions, StreamReport,
+        open_path, open_sniffed_stream, open_stream, read_history, stream_check, verdict_of,
+        write_history, write_history_to_path, Format, HistoryReader, IoFormatError, ReaderOptions,
+        StreamReport,
     };
+
+    pub use aion_serve::{Registry, ServeConfig, ServeError, Server, SessionChecker};
 }

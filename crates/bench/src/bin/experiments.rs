@@ -3,12 +3,14 @@
 //! ```text
 //! experiments <id>... [--scale N] [--out DIR]
 //! experiments all [--scale N]
-//! experiments check <path> [--format f] [--level rc|ra|si|ser|both|all|mixed] [--checker c] [--expect pass|fail]
+//! experiments check <path|-> [--format f] [--level rc|ra|si|ser|both|all|mixed] [--checker c] [--expect pass|fail]
 //! experiments convert <in> <out> [--from f] [--to f]
+//! experiments serve [--addr A] [--workers N] [--soft-limit B] [--hard-limit B]
+//! experiments client <op> --addr HOST:PORT ...
 //! experiments list
 //! ```
 
-use aion_bench::experiments::{interchange, run, Ctx, ALL};
+use aion_bench::experiments::{interchange, run, serve, Ctx, ALL};
 
 #[global_allocator]
 static ALLOCATOR: aion_bench::alloc::CountingAllocator = aion_bench::alloc::CountingAllocator;
@@ -20,6 +22,8 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("check") => return interchange::check_cmd(&args[1..]),
         Some("convert") => return interchange::convert_cmd(&args[1..]),
+        Some("serve") => return serve::serve_cmd(&args[1..]),
+        Some("client") => return serve::client_cmd(&args[1..]),
         _ => {}
     }
     let mut ctx = Ctx::default();
@@ -55,8 +59,10 @@ fn main() {
                     "  conformance   (anomaly × level × checker matrix; --fast for CI; \
                      not part of `all`)"
                 );
-                println!("  check <path>  (stream a history file through a checker)");
+                println!("  check <path|->  (stream a history file, or stdin with '-', through a checker)");
                 println!("  convert <in> <out>  (translate between interchange formats)");
+                println!("  serve   (run the aion-serve multi-tenant checking daemon)");
+                println!("  client <op>  (send one AIONSRV/1 request to a running daemon)");
                 return;
             }
             "all" => ids.extend(ALL.iter().map(|s| s.to_string())),

@@ -2,7 +2,7 @@
 //! history file, or translate between interchange formats.
 //!
 //! ```text
-//! experiments check <path> [--format auto|jsonl|bin|dbcop|edn]
+//! experiments check <path|-> [--format auto|jsonl|bin|dbcop|edn]
 //!                          [--level rc|ra|si|ser|both|all|mixed]
 //!                          [--checker aion|sharded-N|chronos|elle|emme]
 //!                          [--kind kv|list] [--gc N] [--expect pass|fail]
@@ -13,6 +13,11 @@
 //! reader yields one transaction at a time, so the history is never
 //! materialized — and prints one verdict line per isolation level in
 //! the same [`aion_io::verdict_of`] notation the golden corpus records.
+//! Pass `-` to read the history from stdin instead of a file: the
+//! format is sniffed from the byte prefix ([`aion_io::open_sniffed_stream`])
+//! unless `--format` pins it, so `generator | experiments check -`
+//! pipelines work with any interchange format. (Stdin is buffered once
+//! in memory, since multi-level runs re-stream it.)
 //! `--level mixed` opens one `LevelPolicy::PerTxn` session instead:
 //! each streamed transaction is checked at its own declared level (the
 //! `level` extension field every format carries), defaulting to SI —
@@ -32,8 +37,8 @@
 use aion_baselines::{ElleChecker, EmmeChecker};
 use aion_core::{ChronosChecker, ChronosOptions};
 use aion_io::{
-    detect_format, open_path, read_history, stream_check, verdict_of, write_history_to_path,
-    Format, ReaderOptions, StreamReport,
+    detect_format, open_path, open_sniffed_stream, open_stream, read_history, stream_check,
+    verdict_of, write_history_to_path, Format, ReaderOptions, StreamReport,
 };
 use aion_online::{OnlineChecker, OnlineGcPolicy};
 use aion_types::{DataKind, IsolationLevel, LevelPolicy};
@@ -89,6 +94,9 @@ fn parse_level_flag(s: &str) -> Result<Vec<LevelPolicy>, String> {
 
 struct CheckArgs {
     path: PathBuf,
+    /// `Some(bytes)` when the input path was `-`: stdin, buffered once
+    /// so each per-level session can re-stream it.
+    stdin: Option<Vec<u8>>,
     format: Option<Format>,
     levels: Vec<LevelPolicy>,
     family: Family,
@@ -110,6 +118,7 @@ fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
 fn parse_check_args(args: &[String]) -> CheckArgs {
     let mut parsed = CheckArgs {
         path: PathBuf::new(),
+        stdin: None,
         format: None,
         levels: vec![
             LevelPolicy::Uniform(IsolationLevel::Si),
@@ -164,7 +173,9 @@ fn parse_check_args(args: &[String]) -> CheckArgs {
                     other => die(&format!("unknown expectation '{other}' (pass|fail)")),
                 })
             }
-            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            other if other.starts_with('-') && other != "-" => {
+                die(&format!("unknown flag {other}"))
+            }
             other => {
                 if path.replace(PathBuf::from(other)).is_some() {
                     die("check takes exactly one input path");
@@ -175,17 +186,28 @@ fn parse_check_args(args: &[String]) -> CheckArgs {
     }
     parsed.path = path.unwrap_or_else(|| {
         die(&format!(
-            "usage: experiments check <path> [--format f] [--level {LEVEL_FLAGS}] \
+            "usage: experiments check <path|-> [--format f] [--level {LEVEL_FLAGS}] \
              [--checker {CHECKER_FLAGS}] [--kind kv|list] [--gc N] [--expect pass|fail]"
         ))
     });
     parsed
 }
 
+fn open_input<'a>(a: &'a CheckArgs, opts: ReaderOptions) -> Box<dyn aion_io::HistoryReader + 'a> {
+    match &a.stdin {
+        Some(bytes) => {
+            let format = a.format.expect("stdin format resolved before opening");
+            open_stream(&bytes[..], format, opts)
+                .unwrap_or_else(|e| die(&format!("cannot read stdin: {e}")))
+        }
+        None => open_path(&a.path, a.format, opts)
+            .unwrap_or_else(|e| die(&format!("cannot open {}: {e}", a.path.display()))),
+    }
+}
+
 fn run_one(a: &CheckArgs, policy: &LevelPolicy, kind: DataKind) -> StreamReport {
     let opts = ReaderOptions { strict: false, kind_hint: a.kind_hint };
-    let mut reader = open_path(&a.path, a.format, opts)
-        .unwrap_or_else(|e| die(&format!("cannot open {}: {e}", a.path.display())));
+    let mut reader = open_input(a, opts);
     // The offline checkers model one fixed level; a mixed (per-txn)
     // policy needs the streaming checkers' per-arrival dispatch.
     let uniform = |family: &str| {
@@ -229,19 +251,29 @@ fn run_one(a: &CheckArgs, policy: &LevelPolicy, kind: DataKind) -> StreamReport 
 /// `--expect` disagrees with any verdict.
 pub fn check_cmd(args: &[String]) {
     let mut a = parse_check_args(args);
-    let format = a
-        .format
-        .map(Ok)
-        .unwrap_or_else(|| detect_format(&a.path))
-        .unwrap_or_else(|e| die(&format!("cannot detect format of {}: {e}", a.path.display())));
+    if a.path.as_os_str() == "-" {
+        let mut bytes = Vec::new();
+        std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut bytes)
+            .unwrap_or_else(|e| die(&format!("cannot read stdin: {e}")));
+        a.stdin = Some(bytes);
+    }
+    let format = match (a.format, &a.stdin) {
+        (Some(f), _) => f,
+        // No filename to take an extension from: sniff the byte prefix.
+        (None, Some(bytes)) => {
+            open_sniffed_stream(&bytes[..], ReaderOptions { strict: false, kind_hint: None })
+                .map(|(f, _)| f)
+                .unwrap_or_else(|e| die(&format!("cannot detect format of stdin: {e}")))
+        }
+        (None, None) => detect_format(&a.path)
+            .unwrap_or_else(|e| die(&format!("cannot detect format of {}: {e}", a.path.display()))),
+    };
     // Per-level runs reuse the detected format instead of re-sniffing.
     a.format = Some(format);
     // The kind is known once one reader opens (header / first entry).
-    let kind = a.kind_hint.unwrap_or_else(|| {
-        open_path(&a.path, Some(format), ReaderOptions { strict: false, kind_hint: None })
-            .map(|r| r.kind())
-            .unwrap_or_else(|e| die(&format!("cannot open {}: {e}", a.path.display())))
-    });
+    let kind = a
+        .kind_hint
+        .unwrap_or_else(|| open_input(&a, ReaderOptions { strict: false, kind_hint: None }).kind());
     let mut mismatches = 0usize;
     let policies = std::mem::take(&mut a.levels);
     for policy in &policies {

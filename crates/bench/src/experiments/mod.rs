@@ -11,6 +11,7 @@ pub mod interchange;
 pub mod offline;
 pub mod online;
 pub mod record;
+pub mod serve;
 
 use std::path::PathBuf;
 

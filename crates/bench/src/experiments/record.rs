@@ -92,6 +92,40 @@ pub fn bench_record(ctx: &Ctx) {
         run_plan(ck, &mixed_plan)
     }));
 
+    // serve-ingest: the same history streamed through the aion-serve
+    // TCP daemon over loopback (JSONL encoding, socket sniffing,
+    // in-order arrival) instead of fed in-process — what the wire path
+    // costs on top of raw checking.
+    {
+        let mut encoded = Vec::new();
+        aion_io::write_history(&h, aion_io::Format::Jsonl, &mut encoded).expect("encode history");
+        let server =
+            aion_serve::Server::bind(aion_serve::ServeConfig::default()).expect("bind daemon");
+        let addr = server.local_addr().to_string();
+        let handle = server.spawn();
+        let mut best_tps = 0.0f64;
+        let mut violations = 0usize;
+        for run in 0..=RUNS {
+            // run 0 is the warmup, mirroring `measure`
+            let name = format!("bench-{run}");
+            aion_serve::client::open(&addr, &name, &aion_serve::client::OpenOptions::default())
+                .expect("open session");
+            let start = std::time::Instant::now();
+            let fed = aion_serve::client::feed_bytes(&addr, &name, &encoded, false).expect("feed");
+            let secs = start.elapsed().as_secs_f64();
+            let txns = fed.int_field("txns").unwrap_or(0) as f64;
+            let done = aion_serve::client::finish(&addr, &name).expect("finish");
+            violations = done.int_field("violations").unwrap_or(0) as usize;
+            if run > 0 {
+                best_tps = best_tps.max(txns / secs);
+            }
+        }
+        aion_serve::client::shutdown(&addr).expect("shutdown daemon");
+        handle.join().expect("daemon exit");
+        println!("  serve-ingest x0: {best_tps:>9.0} tps");
+        results.push(Measurement { config: "serve-ingest", shards: 0, tps: best_tps, violations });
+    }
+
     let single_tps = results[0].tps;
     let mut t = crate::tables::Table::new(
         "bench-record: checking throughput (best of 3 runs)",

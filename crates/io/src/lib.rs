@@ -46,8 +46,8 @@ pub mod reader;
 
 pub use check::{stream_check, verdict_of, StreamReport};
 pub use reader::{
-    detect_format, open_path, open_stream, read_history, read_history_from, write_history,
-    write_history_to_path, Format, HistoryReader, ReaderOptions,
+    detect_format, open_path, open_sniffed_stream, open_stream, read_history, read_history_from,
+    write_history, write_history_to_path, Format, HistoryReader, ReaderOptions,
 };
 
 use aion_types::TxnId;

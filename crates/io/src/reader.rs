@@ -149,6 +149,36 @@ pub fn open_stream<'r, R: BufRead + 'r>(
     })
 }
 
+/// Open a reader over a *non-seekable* stream (a socket, a pipe,
+/// stdin), detecting the format from the stream's first bytes.
+///
+/// Unlike [`detect_format`] there is no path to rewind or take an
+/// extension hint from: up to 256 bytes are read into a prefix buffer,
+/// [`Format::sniff`]ed, and re-joined in front of the remaining stream,
+/// so the returned reader sees the input from byte zero. An
+/// unrecognizable prefix is the typed [`IoFormatError::UnknownFormat`]
+/// (empty input included — there is nothing to sniff).
+///
+/// Returns the detected format alongside the reader so servers can log
+/// or echo it per connection.
+pub fn open_sniffed_stream<'r, R: Read + 'r>(
+    mut r: R,
+    opts: ReaderOptions,
+) -> Result<(Format, Box<dyn HistoryReader + 'r>), IoFormatError> {
+    let mut prefix = Vec::with_capacity(256);
+    let mut chunk = [0u8; 256];
+    while prefix.len() < 256 {
+        let n = r.read(&mut chunk[..256 - prefix.len()])?;
+        if n == 0 {
+            break;
+        }
+        prefix.extend_from_slice(&chunk[..n]);
+    }
+    let format = Format::sniff(&prefix).ok_or(IoFormatError::UnknownFormat)?;
+    let rejoined = BufReader::new(std::io::Cursor::new(prefix).chain(r));
+    Ok((format, open_stream(rejoined, format, opts)?))
+}
+
 /// Detect the format of a file: content sniff first (unambiguous), file
 /// extension as the fallback.
 pub fn detect_format(path: &Path) -> Result<Format, IoFormatError> {
@@ -306,6 +336,43 @@ mod tests {
             assert_eq!(read_history(&path, None).unwrap(), h, "{format}");
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A `Read`-only wrapper: panics if anything tries to seek (nothing
+    /// can — it only implements `Read`), and hands out bytes in tiny
+    /// chunks to exercise the prefix loop.
+    struct Trickle<'a>(&'a [u8]);
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.0.len()).min(3);
+            buf[..n].copy_from_slice(&self.0[..n]);
+            self.0 = &self.0[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn sniffed_stream_roundtrips_without_seeking() {
+        let h = sample();
+        for format in [Format::Jsonl, Format::Binary, Format::Dbcop] {
+            let mut bytes = Vec::new();
+            write_history(&h, format, &mut bytes).unwrap();
+            let (detected, reader) =
+                open_sniffed_stream(Trickle(&bytes), ReaderOptions::default()).unwrap();
+            assert_eq!(detected, format);
+            assert_eq!(read_history_from(reader).unwrap(), h, "{format}");
+        }
+    }
+
+    #[test]
+    fn sniffed_stream_rejects_unknown_and_empty_input() {
+        for input in [&b"garbage bytes"[..], &b""[..]] {
+            assert!(matches!(
+                open_sniffed_stream(Trickle(input), ReaderOptions::default()),
+                Err(IoFormatError::UnknownFormat)
+            ));
+        }
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Checkpoint/restore over the golden corpus: every checked-in JSONL
+//! fixture (valid and anomalous alike) is streamed into an
+//! `OnlineChecker` that is checkpointed halfway, dropped, and restored
+//! from the bytes — and the resumed run must match the uninterrupted
+//! run exactly: same verdict string, same violation multiset, and a
+//! byte-identical final checkpoint.
+//!
+//! The workload-randomized version of this property lives in
+//! `aion-online/tests/snapshot_differential.rs`; this suite pins it on
+//! the fixed histories whose verdicts `manifest.json` records, so a
+//! codec regression is reproducible from a named file.
+
+use aion_io::{open_path, verdict_of, Format, ReaderOptions};
+use aion_online::OnlineChecker;
+use aion_types::{Checker, Outcome};
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("corpus")
+}
+
+/// Stream one fixture, optionally interrupting at arrival `cut` with a
+/// checkpoint → drop → restore cycle.
+fn run(path: &Path, cut: Option<usize>) -> (Vec<u8>, Outcome) {
+    let opts = ReaderOptions { strict: false, kind_hint: None };
+    let mut reader = open_path(path, Some(Format::Jsonl), opts).expect("open fixture");
+    let mut ck = OnlineChecker::builder().kind(reader.kind()).build().expect("open session");
+    let mut i = 0u64;
+    while let Some(txn) = reader.next_txn().expect("read fixture") {
+        if cut == Some(i as usize) {
+            let snap = ck.checkpoint().expect("checkpoint");
+            drop(ck);
+            ck = OnlineChecker::restore(&snap).expect("restore");
+        }
+        ck.tick(i);
+        ck.feed(txn, i);
+        i += 1;
+    }
+    let final_snapshot = ck.checkpoint().expect("final checkpoint");
+    ck.tick(u64::MAX);
+    (final_snapshot, ck.finish())
+}
+
+fn violation_set(o: &Outcome) -> Vec<String> {
+    let mut v: Vec<String> = o.report.violations.iter().map(|x| format!("{x:?}")).collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn every_corpus_fixture_survives_a_mid_stream_restore() {
+    let mut fixtures: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("corpus dir")
+        .filter_map(|e| Some(e.ok()?.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    fixtures.sort();
+    assert!(!fixtures.is_empty(), "corpus has no jsonl fixtures?");
+
+    for path in &fixtures {
+        let name = path.file_name().unwrap().to_string_lossy();
+        let (plain_snap, plain) = run(path, None);
+        // Cut at half the arrivals (the interesting fixtures are small,
+        // so halfway lands inside every anomaly's observation window).
+        let cut = plain.txns / 2;
+        let (resumed_snap, resumed) = run(path, Some(cut));
+        assert_eq!(
+            verdict_of(&plain),
+            verdict_of(&resumed),
+            "{name}: verdict changed across a restore at {cut}"
+        );
+        assert_eq!(
+            violation_set(&plain),
+            violation_set(&resumed),
+            "{name}: violations changed across a restore at {cut}"
+        );
+        assert_eq!(plain.txns, resumed.txns, "{name}: txn count changed");
+        assert_eq!(
+            plain_snap, resumed_snap,
+            "{name}: final checkpoint not byte-identical after a restore at {cut}"
+        );
+    }
+}

@@ -308,46 +308,49 @@ impl OnlineCheckerBuilder {
 }
 
 /// Tentative per-read checking state (the paper's `T.EXT`, per read).
+///
+/// `pub(crate)` fields: the checkpoint codec in [`crate::snapshot`]
+/// serializes this state verbatim to guarantee byte-identical resumption.
 #[derive(Clone, Debug)]
-struct ReadState {
-    op_index: u32,
-    key: Key,
-    observed: Snapshot,
-    muts_before: Vec<Mutation>,
+pub(crate) struct ReadState {
+    pub(crate) op_index: u32,
+    pub(crate) key: Key,
+    pub(crate) observed: Snapshot,
+    pub(crate) muts_before: Vec<Mutation>,
     /// Current tentative verdict.
-    ok: bool,
+    pub(crate) ok: bool,
     /// Settled reads (internal-consistency reads and INT violations) have
     /// final verdicts at arrival and are excluded from EXT re-checking.
-    settled: bool,
+    pub(crate) settled: bool,
     /// When the verdict last became wrong (for rectification latency).
-    wrong_since: Option<u64>,
+    pub(crate) wrong_since: Option<u64>,
 }
 
 /// A resident transaction with its derived checking state.
 #[derive(Debug)]
-struct OnlineTxn {
-    txn: Transaction,
+pub(crate) struct OnlineTxn {
+    pub(crate) txn: Transaction,
     /// The isolation level this transaction is checked at, resolved
     /// from the session's [`LevelPolicy`] once at arrival.
-    level: IsolationLevel,
-    write_set: Vec<(Key, Snapshot)>,
-    reads: Vec<ReadState>,
+    pub(crate) level: IsolationLevel,
+    pub(crate) write_set: Vec<(Key, Snapshot)>,
+    pub(crate) reads: Vec<ReadState>,
     /// Keys whose first in-transaction access was a read: their published
     /// values fold over that observation and never change with the
     /// frontier (no cascade).
-    anchor_keys: Vec<Key>,
-    finalized: bool,
+    pub(crate) anchor_keys: Vec<Key>,
+    pub(crate) finalized: bool,
 }
 
 impl OnlineTxn {
     /// The event this transaction's reads anchor at, per its level.
-    fn anchor(&self) -> EventKey {
+    pub(crate) fn anchor(&self) -> EventKey {
         anchor_event(&self.txn, self.level)
     }
 }
 
 /// The event a transaction's reads anchor at under `level`.
-fn anchor_event(txn: &Transaction, level: IsolationLevel) -> EventKey {
+pub(crate) fn anchor_event(txn: &Transaction, level: IsolationLevel) -> EventKey {
     match level.checks().anchor {
         ReadAnchor::Start => txn.start_event(),
         ReadAnchor::Commit => txn.commit_event(),
@@ -368,10 +371,10 @@ pub type AionOutcome = Outcome;
 /// *structurally* instead of keeping two copies in sync.
 #[derive(Debug, Default)]
 pub(crate) struct GlobalChecks {
-    all_tids: FxHashSet<TxnId>,
-    ts_owner: FxHashMap<Timestamp, TxnId>,
-    next_sno: FxHashMap<SessionId, u32>,
-    last_cts: FxHashMap<SessionId, Timestamp>,
+    pub(crate) all_tids: FxHashSet<TxnId>,
+    pub(crate) ts_owner: FxHashMap<Timestamp, TxnId>,
+    pub(crate) next_sno: FxHashMap<SessionId, u32>,
+    pub(crate) last_cts: FxHashMap<SessionId, Timestamp>,
 }
 
 impl GlobalChecks {
@@ -462,33 +465,33 @@ pub(crate) fn aion_level_name(levels: &LevelPolicy) -> &'static str {
 /// violations, verdict flips, finalizations and GC passes are visible
 /// *while* the history streams in.
 pub struct OnlineChecker {
-    cfg: AionConfig,
+    pub(crate) cfg: AionConfig,
     /// Whether any level the policy can produce activates NOCONFLICT —
     /// when false (e.g. uniform SER/RA/RC) the overlap index is never
     /// touched, keeping the hot path as cheap as the old global branch.
-    track_overlaps: bool,
+    pub(crate) track_overlaps: bool,
     /// Whether any level the policy can produce uses the
     /// [`ExtPredicate::Committed`] membership predicate — when false,
     /// the extended trigger sweep for committed-readers is skipped.
-    has_committed_ext: bool,
-    txns: FxHashMap<TxnId, OnlineTxn>,
-    globals: GlobalChecks,
-    frontier: VersionedMap<Snapshot>,
-    readers: KeyEventIndex<ReadRef>,
-    writers: KeyEventIndex<TxnId>,
-    ongoing: OngoingIndex,
-    deadlines: BinaryHeap<Reverse<(u64, TxnId)>>,
-    triggers: VecDeque<(Key, EventKey)>,
-    spill: SpillStore,
+    pub(crate) has_committed_ext: bool,
+    pub(crate) txns: FxHashMap<TxnId, OnlineTxn>,
+    pub(crate) globals: GlobalChecks,
+    pub(crate) frontier: VersionedMap<Snapshot>,
+    pub(crate) readers: KeyEventIndex<ReadRef>,
+    pub(crate) writers: KeyEventIndex<TxnId>,
+    pub(crate) ongoing: OngoingIndex,
+    pub(crate) deadlines: BinaryHeap<Reverse<(u64, TxnId)>>,
+    pub(crate) triggers: VecDeque<(Key, EventKey)>,
+    pub(crate) spill: SpillStore,
     /// Largest commit timestamp ever spilled; arrivals at or below it must
     /// reload first.
-    gc_horizon_ts: Option<Timestamp>,
-    now_ms: u64,
-    report: CheckReport,
-    flips: FlipTracker,
-    stats: AionStats,
+    pub(crate) gc_horizon_ts: Option<Timestamp>,
+    pub(crate) now_ms: u64,
+    pub(crate) report: CheckReport,
+    pub(crate) flips: FlipTracker,
+    pub(crate) stats: AionStats,
     /// Events produced since the last `receive`/`tick` returned.
-    events: Vec<CheckEvent>,
+    pub(crate) events: Vec<CheckEvent>,
 }
 
 impl OnlineChecker {
@@ -1163,7 +1166,7 @@ impl OnlineChecker {
     /// anchor reaches at or below the GC horizon. Conservative: a read may
     /// need the latest version committed long before its anchor, so all
     /// segments up to `hi` are brought back.
-    fn reload_below(&mut self, hi: Timestamp) {
+    pub(crate) fn reload_below(&mut self, hi: Timestamp) {
         let ids = self.spill.segments_overlapping(Timestamp::MIN, hi);
         for id in ids {
             let entries = self.spill.reload(id).expect("spill segment decodes");
@@ -1223,6 +1226,10 @@ impl Checker for OnlineChecker {
 
     fn finish(self) -> Outcome {
         OnlineChecker::finish(self)
+    }
+
+    fn estimated_memory_bytes(&self) -> usize {
+        OnlineChecker::estimated_memory_bytes(self)
     }
 }
 

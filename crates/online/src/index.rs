@@ -16,9 +16,14 @@ pub struct ReadRef {
 }
 
 /// Per-key index of items anchored at events, ordered by event.
+///
+/// The inner map is `pub(crate)` so the checkpoint codec
+/// ([`crate::snapshot`]) can serialize and restore the index *exactly* —
+/// including per-event item order, which re-registration could not
+/// reproduce for state that was GC-pruned or spill-reloaded.
 #[derive(Clone, Debug)]
 pub struct KeyEventIndex<T> {
-    keys: FxHashMap<Key, BTreeMap<EventKey, Vec<T>>>,
+    pub(crate) keys: FxHashMap<Key, BTreeMap<EventKey, Vec<T>>>,
 }
 
 impl<T> Default for KeyEventIndex<T> {
@@ -106,7 +111,7 @@ pub struct OngoingWriter {
 /// arrives).
 #[derive(Clone, Debug, Default)]
 pub struct OngoingIndex {
-    map: VersionedMap<Vec<OngoingWriter>>,
+    pub(crate) map: VersionedMap<Vec<OngoingWriter>>,
 }
 
 impl OngoingIndex {

@@ -28,6 +28,7 @@ pub mod checker;
 pub mod feed;
 pub mod index;
 pub mod sharded;
+pub mod snapshot;
 pub mod spill;
 pub mod stats;
 pub mod versioned;

@@ -58,14 +58,25 @@
 //! ```
 
 use crate::checker::{
-    aion_level_name, AionConfig, ConfigError, GlobalChecks, OnlineChecker, OnlineGcPolicy,
+    aion_level_name, anchor_event, AionConfig, ConfigError, GlobalChecks, OnlineChecker,
+    OnlineGcPolicy, OnlineTxn,
 };
-use crate::feed::{route_txn, RoutedTxn};
+use crate::feed::{route_txn, shard_of, RoutedTxn};
+use crate::index::ReadRef;
+use crate::snapshot::{get_config, get_events, get_globals, put_config, put_events, put_globals};
+use aion_types::codec::{get_varint, put_varint, CodecError};
+use aion_types::snapshot::{
+    get_report, get_snapshot_header, put_report, put_snapshot_header, SnapshotError,
+    SNAPSHOT_KIND_SHARDED,
+};
 use aion_types::{
-    CheckEvent, CheckReport, Checker, CheckerStats, FlipSummary, FxHashMap, Outcome, Transaction,
-    TxnId, Violation,
+    CheckEvent, CheckReport, Checker, CheckerStats, FlipSummary, FxHashMap, IsolationLevel, Key,
+    Outcome, Snapshot, Timestamp, Transaction, TxnId, Violation,
 };
+use bytes::{BufMut, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cmp::Reverse;
+use std::path::Path;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -81,6 +92,13 @@ enum ShardCmd {
     Tick { now_ms: u64 },
     /// Acknowledge once every prior command has been processed.
     Flush,
+    /// Serialize the worker checker's complete state and reply with the
+    /// checkpoint body bytes.
+    Checkpoint,
+    /// Report the worker checker's estimated memory footprint on the
+    /// dedicated memory channel (so the coordinator can query it with
+    /// `&self`, without touching the staged reply stream).
+    Memory,
     /// Finish the worker's checker and reply with its outcome.
     Finish,
 }
@@ -96,6 +114,9 @@ enum ShardReply {
     Ticked { events: Vec<CheckEvent> },
     /// Barrier acknowledgement for `Flush`.
     Flushed,
+    /// Checkpoint body bytes for `Checkpoint` (or the error producing
+    /// them raised).
+    Checkpointed { shard: usize, body: Result<Vec<u8>, SnapshotError> },
     /// Terminal outcome for `Finish` (boxed: it dwarfs the streaming
     /// variants and is sent once per worker).
     Done { shard: usize, outcome: Box<Outcome> },
@@ -132,6 +153,10 @@ pub struct ShardedChecker {
     shards: usize,
     cmd_tx: Vec<Sender<ShardCmd>>,
     reply_rx: Receiver<ShardReply>,
+    /// Memory-estimate replies travel on their own channel so
+    /// [`Checker::estimated_memory_bytes`] (`&self`) never has to absorb
+    /// staged event replies.
+    mem_rx: Receiver<usize>,
     workers: Vec<JoinHandle<()>>,
     /// Coordinator-owned global checks — the same `GlobalChecks` code
     /// the single checker runs, executed once per whole transaction.
@@ -171,46 +196,16 @@ impl ShardedChecker {
         let shards = cfg.shard.shards.max(1);
         let mut checkers = Vec::with_capacity(shards);
         for shard in 0..shards {
-            let mut worker_cfg = cfg.clone();
-            worker_cfg.coordinated = true;
-            worker_cfg.shard_filter = if shards > 1 { Some((shard, shards)) } else { None };
-            worker_cfg.gc = match worker_cfg.gc {
-                OnlineGcPolicy::None => OnlineGcPolicy::None,
-                OnlineGcPolicy::Checking { max_txns } => {
-                    OnlineGcPolicy::Checking { max_txns: (max_txns / shards).max(1) }
-                }
-                OnlineGcPolicy::Full { max_txns } => {
-                    OnlineGcPolicy::Full { max_txns: (max_txns / shards).max(1) }
-                }
-            };
-            if let Some(path) = worker_cfg.spill_path.take() {
-                let mut p = path.into_os_string();
-                p.push(format!(".shard{shard}"));
-                worker_cfg.spill_path = Some(p.into());
-            }
-            checkers.push(OnlineChecker::try_new(worker_cfg)?);
+            checkers.push(OnlineChecker::try_new(worker_config(&cfg, shard, shards))?);
         }
-        let (reply_tx, reply_rx) = unbounded::<ShardReply>();
-        let mut cmd_tx = Vec::with_capacity(shards);
-        let mut workers = Vec::with_capacity(shards);
-        for (shard, checker) in checkers.into_iter().enumerate() {
-            let (tx, rx) = unbounded::<ShardCmd>();
-            cmd_tx.push(tx);
-            let events_on = checker.config().events;
-            let reply_tx = reply_tx.clone();
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("aion-shard-{shard}"))
-                    .spawn(move || worker_loop(shard, checker, rx, reply_tx, events_on))
-                    .expect("spawn shard worker"),
-            );
-        }
+        let spawned = spawn_workers(checkers);
         Ok(ShardedChecker {
             cfg,
             shards,
-            cmd_tx,
-            reply_rx,
-            workers,
+            cmd_tx: spawned.cmd_tx,
+            reply_rx: spawned.reply_rx,
+            mem_rx: spawned.mem_rx,
+            workers: spawned.workers,
             globals: GlobalChecks::default(),
             report: CheckReport::new(),
             pending: FxHashMap::default(),
@@ -392,6 +387,10 @@ impl ShardedChecker {
             }
             ShardReply::Ticked { events } => self.ingest(events),
             ShardReply::Flushed => {}
+            // Only produced inside `checkpoint`'s own collection loop; a
+            // stray one (a checkpoint aborted by a worker error) is
+            // dropped here rather than wedging the reply stream.
+            ShardReply::Checkpointed { .. } => {}
             ShardReply::Done { shard, outcome } => outcomes.push((shard, *outcome)),
         }
     }
@@ -496,6 +495,467 @@ impl ShardedChecker {
 
         Outcome::new(self.checker_name(), report, self.received).with_stats(stats).with_flips(flips)
     }
+
+    /// Checkpoint the whole sharded session — coordinator state plus one
+    /// embedded [`OnlineChecker`] snapshot body per worker — as a
+    /// `SNAPSHOT_KIND_SHARDED` envelope.
+    ///
+    /// Runs a full barrier first, so every in-flight arrival is processed
+    /// and every staged worker event has been absorbed: the snapshot cuts
+    /// the session between arrivals, the granularity at which
+    /// [`ShardedChecker::restore`] resumes with identical verdicts.
+    pub fn checkpoint(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        self.barrier();
+        for shard in 0..self.shards {
+            self.send(shard, ShardCmd::Checkpoint);
+        }
+        let mut bodies: Vec<Option<Vec<u8>>> = (0..self.shards).map(|_| None).collect();
+        let mut got = 0usize;
+        while got < self.shards {
+            match self.reply_rx.recv() {
+                Ok(ShardReply::Checkpointed { shard, body }) => {
+                    bodies[shard] = Some(body?);
+                    got += 1;
+                }
+                Ok(reply) => self.absorb(reply, &mut Vec::new()),
+                Err(_) => {
+                    return Err(SnapshotError::Corrupt(
+                        "a shard worker died during checkpoint".into(),
+                    ))
+                }
+            }
+        }
+
+        let mut buf = BytesMut::with_capacity(4096);
+        put_snapshot_header(&mut buf, SNAPSHOT_KIND_SHARDED);
+        put_config(&mut buf, &self.cfg);
+        put_varint(&mut buf, self.shards as u64);
+        for body in bodies {
+            let body = body.expect("every shard replied");
+            put_varint(&mut buf, body.len() as u64);
+            buf.put_slice(&body);
+        }
+        put_globals(&mut buf, &self.globals);
+        put_report(&mut buf, &self.report);
+        let mut pend: Vec<(u64, &PendingFinalize)> =
+            self.pending.iter().map(|(t, p)| (t.0, p)).collect();
+        pend.sort_unstable_by_key(|(t, _)| *t);
+        put_varint(&mut buf, pend.len() as u64);
+        for (tid, p) in pend {
+            put_varint(&mut buf, tid);
+            put_varint(&mut buf, u64::from(p.awaiting_fed));
+            put_varint(&mut buf, u64::from(p.pending_reads));
+            put_varint(&mut buf, u64::from(p.finalized_shards));
+            put_varint(&mut buf, u64::from(p.violations));
+        }
+        put_varint(&mut buf, self.received as u64);
+        put_varint(&mut buf, self.dropped as u64);
+        put_varint(&mut buf, self.now_ms);
+        put_varint(&mut buf, self.last_tick_broadcast);
+        put_events(&mut buf, &self.events);
+        Ok(buf.to_vec())
+    }
+
+    /// [`checkpoint`](Self::checkpoint) straight to a file.
+    pub fn checkpoint_to(&mut self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let bytes = self.checkpoint()?;
+        std::fs::write(path, bytes)?;
+        Ok(())
+    }
+
+    /// Restore a sharded session from [`checkpoint`](Self::checkpoint)
+    /// bytes with the *same* shard count, respawning one worker per
+    /// embedded snapshot. Worker spill files (the configured path with
+    /// its `.shardK` suffix) are re-created and re-populated from the
+    /// snapshot. Verdicts, reports and events continue exactly as the
+    /// interrupted session would have.
+    pub fn restore(bytes: &[u8]) -> Result<ShardedChecker, SnapshotError> {
+        let (parsed, old_workers) = SharedParse::read(bytes)?;
+        let spawned = spawn_workers(old_workers);
+        Ok(parsed.into_checker(spawned))
+    }
+
+    /// Restore from a checkpoint file written by
+    /// [`checkpoint_to`](Self::checkpoint_to).
+    pub fn restore_from(path: impl AsRef<Path>) -> Result<ShardedChecker, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        Self::restore(&bytes)
+    }
+
+    /// Restore a sharded checkpoint onto a *different* shard count: every
+    /// worker's state (including its spilled segments) is reloaded,
+    /// merged per transaction, and re-partitioned under the new key
+    /// routing.
+    ///
+    /// The resumed session reports the same violations and final verdicts
+    /// as the interrupted one would have; runtime counters (spill/GC
+    /// statistics, re-evaluation counts) restart from the merged totals
+    /// and event *timing* may differ — resharding is verdict-equivalent,
+    /// not byte-identical (`tests/snapshot_differential.rs` pins the
+    /// former for the same-topology paths).
+    pub fn restore_resharded(
+        bytes: &[u8],
+        new_shards: usize,
+    ) -> Result<ShardedChecker, SnapshotError> {
+        let (mut parsed, old_workers) = SharedParse::read(bytes)?;
+        let new_shards = new_shards.max(1);
+        parsed.cfg.shard.shards = new_shards;
+        parsed.shards = new_shards;
+        let workers = resplit_workers(old_workers, &parsed.cfg, new_shards)?;
+
+        // Re-derive the ExtFinalized merge state for the new topology:
+        // the checkpoint barrier guarantees awaiting_fed reached zero, and
+        // each new worker holding an unfinalized part will emit exactly
+        // one finalization for it.
+        let mut emitted = Vec::new();
+        parsed.pending.retain(|tid, p| {
+            p.awaiting_fed = 0;
+            p.pending_reads = workers.iter().filter(|w| w.is_pending(*tid)).count() as u32;
+            if p.pending_reads == 0 {
+                // Every read settled before the checkpoint: surface the
+                // merged event now iff some shard actually finalized.
+                if p.finalized_shards > 0 {
+                    emitted.push(CheckEvent::ExtFinalized { tid: *tid, violations: p.violations });
+                }
+                false
+            } else {
+                true
+            }
+        });
+        parsed.events.extend(emitted);
+
+        let spawned = spawn_workers(workers);
+        Ok(parsed.into_checker(spawned))
+    }
+}
+
+/// Parsed coordinator section of a sharded checkpoint (everything except
+/// the worker snapshots, which are decoded separately so same-topology
+/// restore and resharding can share this code).
+struct SharedParse {
+    cfg: AionConfig,
+    shards: usize,
+    globals: GlobalChecks,
+    report: CheckReport,
+    pending: FxHashMap<TxnId, PendingFinalize>,
+    received: usize,
+    dropped: usize,
+    now_ms: u64,
+    last_tick_broadcast: u64,
+    events: Vec<CheckEvent>,
+}
+
+impl SharedParse {
+    fn read(bytes: &[u8]) -> Result<(SharedParse, Vec<OnlineChecker>), SnapshotError> {
+        let mut slice = bytes;
+        let kind = get_snapshot_header(&mut slice)?;
+        if kind != SNAPSHOT_KIND_SHARDED {
+            return Err(SnapshotError::WrongKind { expected: SNAPSHOT_KIND_SHARDED, found: kind });
+        }
+        let cfg = get_config(&mut slice)?;
+        let shards = get_varint(&mut slice)? as usize;
+        if shards == 0 || shards > u16::MAX as usize {
+            return Err(SnapshotError::Corrupt(format!("implausible shard count {shards}")));
+        }
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let len = get_varint(&mut slice)? as usize;
+            if slice.len() < len {
+                return Err(SnapshotError::Codec(CodecError::UnexpectedEof));
+            }
+            let (body, rest) = slice.split_at(len);
+            let mut body_slice = body;
+            let ck = OnlineChecker::read_snapshot_body(&mut body_slice, None)?;
+            if !body_slice.is_empty() {
+                return Err(SnapshotError::Corrupt(
+                    "trailing bytes after a worker snapshot body".into(),
+                ));
+            }
+            workers.push(ck);
+            slice = rest;
+        }
+        let globals = get_globals(&mut slice)?;
+        let report = get_report(&mut slice)?;
+        let mut pending = FxHashMap::default();
+        for _ in 0..get_varint(&mut slice)? {
+            let tid = TxnId(get_varint(&mut slice)?);
+            pending.insert(
+                tid,
+                PendingFinalize {
+                    awaiting_fed: get_varint(&mut slice)? as u32,
+                    pending_reads: get_varint(&mut slice)? as u32,
+                    finalized_shards: get_varint(&mut slice)? as u32,
+                    violations: get_varint(&mut slice)? as u32,
+                },
+            );
+        }
+        let received = get_varint(&mut slice)? as usize;
+        let dropped = get_varint(&mut slice)? as usize;
+        let now_ms = get_varint(&mut slice)?;
+        let last_tick_broadcast = get_varint(&mut slice)?;
+        let events = get_events(&mut slice)?;
+        if !slice.is_empty() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after checkpoint body",
+                slice.len()
+            )));
+        }
+        Ok((
+            SharedParse {
+                cfg,
+                shards,
+                globals,
+                report,
+                pending,
+                received,
+                dropped,
+                now_ms,
+                last_tick_broadcast,
+                events,
+            },
+            workers,
+        ))
+    }
+
+    fn into_checker(self, spawned: Spawned) -> ShardedChecker {
+        ShardedChecker {
+            cfg: self.cfg,
+            shards: self.shards,
+            cmd_tx: spawned.cmd_tx,
+            reply_rx: spawned.reply_rx,
+            mem_rx: spawned.mem_rx,
+            workers: spawned.workers,
+            globals: self.globals,
+            report: self.report,
+            pending: self.pending,
+            received: self.received,
+            dropped: self.dropped,
+            now_ms: self.now_ms,
+            last_tick_broadcast: self.last_tick_broadcast,
+            events: self.events,
+        }
+    }
+}
+
+/// The per-worker configuration derived from a session configuration:
+/// coordinated mode, this shard's key filter, an even share of the GC
+/// budget, and a `.shardK`-suffixed spill file.
+fn worker_config(cfg: &AionConfig, shard: usize, shards: usize) -> AionConfig {
+    let mut worker_cfg = cfg.clone();
+    worker_cfg.coordinated = true;
+    worker_cfg.shard_filter = if shards > 1 { Some((shard, shards)) } else { None };
+    worker_cfg.gc = match worker_cfg.gc {
+        OnlineGcPolicy::None => OnlineGcPolicy::None,
+        OnlineGcPolicy::Checking { max_txns } => {
+            OnlineGcPolicy::Checking { max_txns: (max_txns / shards).max(1) }
+        }
+        OnlineGcPolicy::Full { max_txns } => {
+            OnlineGcPolicy::Full { max_txns: (max_txns / shards).max(1) }
+        }
+    };
+    if let Some(path) = worker_cfg.spill_path.take() {
+        let mut p = path.into_os_string();
+        p.push(format!(".shard{shard}"));
+        worker_cfg.spill_path = Some(p.into());
+    }
+    worker_cfg
+}
+
+/// Channel ends and join handles produced by [`spawn_workers`].
+struct Spawned {
+    cmd_tx: Vec<Sender<ShardCmd>>,
+    reply_rx: Receiver<ShardReply>,
+    mem_rx: Receiver<usize>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Spawn one worker thread per prepared checker (fresh sessions and both
+/// restore paths share this).
+fn spawn_workers(checkers: Vec<OnlineChecker>) -> Spawned {
+    let (reply_tx, reply_rx) = unbounded::<ShardReply>();
+    let (mem_tx, mem_rx) = unbounded::<usize>();
+    let mut cmd_tx = Vec::with_capacity(checkers.len());
+    let mut workers = Vec::with_capacity(checkers.len());
+    for (shard, checker) in checkers.into_iter().enumerate() {
+        let (tx, rx) = unbounded::<ShardCmd>();
+        cmd_tx.push(tx);
+        let events_on = checker.config().events;
+        let reply_tx = reply_tx.clone();
+        let mem_tx = mem_tx.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("aion-shard-{shard}"))
+                .spawn(move || worker_loop(shard, checker, rx, reply_tx, mem_tx, events_on))
+                .expect("spawn shard worker"),
+        );
+    }
+    Spawned { cmd_tx, reply_rx, mem_rx, workers }
+}
+
+/// Merge the decoded workers of a sharded checkpoint and re-partition
+/// their state for `new_shards` workers (see
+/// [`ShardedChecker::restore_resharded`]).
+///
+/// All spilled state is reloaded first, so the merge sees every
+/// transaction; the new workers start with fresh (empty) spill stores
+/// and no GC horizon. Reads belonging to parts that had already
+/// finalized are marked settled, freezing their verdicts: re-partitioned
+/// parts never re-report a violation or re-enter the deadline queue for
+/// them.
+fn resplit_workers(
+    mut old: Vec<OnlineChecker>,
+    base_cfg: &AionConfig,
+    new_shards: usize,
+) -> Result<Vec<OnlineChecker>, SnapshotError> {
+    use std::collections::BTreeMap;
+
+    struct MergedTxn {
+        txn: Transaction,
+        level: IsolationLevel,
+        write_set: Vec<(Key, Snapshot)>,
+        reads: Vec<crate::checker::ReadState>,
+        anchor_keys: Vec<Key>,
+    }
+
+    // -- gather -----------------------------------------------------------
+    let mut now_ms = 0u64;
+    let mut deadline_of: FxHashMap<TxnId, u64> = FxHashMap::default();
+    let mut merged: BTreeMap<u64, MergedTxn> = BTreeMap::new();
+    let mut frontier: Vec<(Key, aion_types::EventKey, Snapshot)> = Vec::new();
+    let mut ongoing: Vec<(Key, aion_types::EventKey, Vec<crate::index::OngoingWriter>)> =
+        Vec::new();
+    let mut writer_entries: Vec<(Key, aion_types::EventKey, Vec<TxnId>)> = Vec::new();
+    let mut stats = CheckerStats::default();
+    let mut report = CheckReport::new();
+    let mut flips = crate::stats::FlipTracker::default();
+
+    for w in &mut old {
+        w.reload_below(Timestamp::MAX);
+        now_ms = now_ms.max(w.now_ms);
+        for &Reverse((d, tid)) in w.deadlines.iter() {
+            deadline_of.entry(tid).and_modify(|x| *x = (*x).min(d)).or_insert(d);
+        }
+        for (key, event, snap) in w.frontier.iter() {
+            frontier.push((key, event, snap.clone()));
+        }
+        for (key, event, writers) in w.ongoing.map.iter() {
+            ongoing.push((key, event, writers.clone()));
+        }
+        for (key, chain) in w.writers.keys.iter() {
+            for (event, items) in chain {
+                writer_entries.push((*key, *event, items.clone()));
+            }
+        }
+        stats.absorb_shard(&w.stats);
+        report.merge(std::mem::take(&mut w.report));
+        let t = std::mem::take(&mut w.flips);
+        flips.detail |= t.detail;
+        flips.total_flips += t.total_flips;
+        for (pair, n) in t.flips_per_pair {
+            *flips.flips_per_pair.entry(pair).or_insert(0) += n;
+        }
+        flips.txns_with_flips.extend(t.txns_with_flips);
+        flips.rectify_ms.extend(t.rectify_ms);
+
+        let tids: Vec<TxnId> = w.txns.keys().copied().collect();
+        for tid in tids {
+            let mut t = w.txns.remove(&tid).expect("resident");
+            if t.finalized {
+                for r in &mut t.reads {
+                    r.settled = true;
+                }
+            }
+            let e = merged.entry(tid.0).or_insert_with(|| MergedTxn {
+                txn: t.txn.clone(),
+                level: t.level,
+                write_set: Vec::new(),
+                reads: Vec::new(),
+                anchor_keys: Vec::new(),
+            });
+            // Keys are disjoint across shards, so these unions are
+            // concatenations.
+            e.write_set.append(&mut t.write_set);
+            e.reads.append(&mut t.reads);
+            e.anchor_keys.append(&mut t.anchor_keys);
+        }
+    }
+
+    // -- re-partition ------------------------------------------------------
+    let mut workers = Vec::with_capacity(new_shards);
+    for m in 0..new_shards {
+        let mut w = OnlineChecker::try_new(worker_config(base_cfg, m, new_shards)).map_err(
+            |e| match e {
+                ConfigError::SpillFile { source, .. } => SnapshotError::Io(source),
+            },
+        )?;
+        w.now_ms = now_ms;
+        workers.push(w);
+    }
+    for (key, event, snap) in frontier {
+        workers[shard_of(key, new_shards)].frontier.insert(key, event, snap);
+    }
+    for (key, event, writers) in ongoing {
+        workers[shard_of(key, new_shards)].ongoing.map.insert(key, event, writers);
+    }
+    for (key, event, items) in writer_entries {
+        let w = &mut workers[shard_of(key, new_shards)];
+        for item in items {
+            w.writers.insert(key, event, item);
+        }
+    }
+
+    for (_, mut t) in merged {
+        t.reads.sort_unstable_by_key(|r| r.op_index);
+        t.write_set.sort_unstable_by_key(|(k, _)| *k);
+        t.anchor_keys.sort_unstable();
+        let tid = t.txn.tid;
+        let anchor = anchor_event(&t.txn, t.level);
+        for (m, w) in workers.iter_mut().enumerate() {
+            let reads: Vec<crate::checker::ReadState> =
+                t.reads.iter().filter(|r| shard_of(r.key, new_shards) == m).cloned().collect();
+            let write_set: Vec<(Key, Snapshot)> = t
+                .write_set
+                .iter()
+                .filter(|(k, _)| shard_of(*k, new_shards) == m)
+                .cloned()
+                .collect();
+            if reads.is_empty() && write_set.is_empty() {
+                continue;
+            }
+            let anchor_keys: Vec<Key> =
+                t.anchor_keys.iter().copied().filter(|k| shard_of(*k, new_shards) == m).collect();
+            let finalized = reads.iter().all(|r| r.settled);
+            if !finalized {
+                let deadline =
+                    deadline_of.get(&tid).copied().unwrap_or(now_ms + base_cfg.ext_timeout_ms);
+                w.deadlines.push(Reverse((deadline, tid)));
+            }
+            for (idx, r) in reads.iter().enumerate() {
+                if !r.settled {
+                    w.readers.insert(r.key, anchor, ReadRef { tid, read_idx: idx as u32 });
+                }
+            }
+            w.txns.insert(
+                tid,
+                OnlineTxn {
+                    txn: t.txn.clone(),
+                    level: t.level,
+                    write_set,
+                    reads,
+                    anchor_keys,
+                    finalized,
+                },
+            );
+        }
+    }
+
+    // Merged session-wide counters and the merged report live on worker 0
+    // (`finish` folds workers in shard order, so placement only affects
+    // report ordering, deterministically).
+    workers[0].stats = stats;
+    workers[0].report = report;
+    workers[0].flips = flips;
+    Ok(workers)
 }
 
 impl Checker for ShardedChecker {
@@ -514,6 +974,27 @@ impl Checker for ShardedChecker {
     fn finish(self) -> Outcome {
         ShardedChecker::finish(self)
     }
+
+    /// Aggregate of every worker's estimate (queried over the dedicated
+    /// memory channel) plus the coordinator's own staged state.
+    fn estimated_memory_bytes(&self) -> usize {
+        let mut total = self.events.capacity() * std::mem::size_of::<CheckEvent>()
+            + self.pending.len()
+                * (std::mem::size_of::<TxnId>() + std::mem::size_of::<PendingFinalize>());
+        let mut expected = 0usize;
+        for shard in 0..self.shards {
+            if self.cmd_tx[shard].send(ShardCmd::Memory).is_ok() {
+                expected += 1;
+            }
+        }
+        for _ in 0..expected {
+            match self.mem_rx.recv() {
+                Ok(bytes) => total += bytes,
+                Err(_) => break,
+            }
+        }
+        total
+    }
 }
 
 /// A shard worker: drains commands in order, catching its clock up
@@ -525,6 +1006,7 @@ fn worker_loop(
     checker: OnlineChecker,
     rx: Receiver<ShardCmd>,
     tx: Sender<ShardReply>,
+    mem_tx: Sender<usize>,
     events_on: bool,
 ) {
     let mut checker = Some(checker);
@@ -555,6 +1037,14 @@ fn worker_loop(
             }
             ShardCmd::Flush => {
                 let _ = tx.send(ShardReply::Flushed);
+            }
+            ShardCmd::Checkpoint => {
+                let mut buf = BytesMut::with_capacity(1024);
+                let body = ck.write_snapshot_body(&mut buf).map(|()| buf.to_vec());
+                let _ = tx.send(ShardReply::Checkpointed { shard, body });
+            }
+            ShardCmd::Memory => {
+                let _ = mem_tx.send(ck.estimated_memory_bytes());
             }
             ShardCmd::Finish => {
                 let outcome = Box::new(checker.take().expect("worker alive").finish());

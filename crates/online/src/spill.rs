@@ -139,24 +139,7 @@ impl SpillStore {
             }
         };
         meta.loaded = true;
-        let mut slice = &raw[..];
-        let count = codec::get_varint(&mut slice)? as usize;
-        let mut out = Vec::with_capacity(count);
-        for _ in 0..count {
-            let txn = codec::get_txn_ext(&mut slice)?;
-            let n = codec::get_varint(&mut slice)? as usize;
-            let mut write_set = Vec::with_capacity(n);
-            for _ in 0..n {
-                let k = Key(codec::get_varint(&mut slice)?);
-                let s = codec::get_snapshot(&mut slice).map_err(|e| match e {
-                    CodecError::BadTag(t) => CodecError::BadTag(t),
-                    e => e,
-                })?;
-                write_set.push((k, s));
-            }
-            out.push(SpillEntry { txn, write_set });
-        }
-        Ok(out)
+        decode_segment(&raw)
     }
 
     /// Total transactions currently spilled out (not reloaded).
@@ -176,6 +159,93 @@ impl SpillStore {
             Backend::Disk { .. } => meta,
         }
     }
+
+    /// Export every segment — raw encoded bytes plus metadata — for the
+    /// checkpoint codec. `&mut self`: the disk backend re-reads segment
+    /// bytes from the file.
+    pub(crate) fn export_segments(&mut self) -> std::io::Result<Vec<SegmentExport>> {
+        let mut out = Vec::with_capacity(self.segments.len());
+        for id in 0..self.segments.len() {
+            let (min_ts, max_ts, txns, loaded, offset, len) = {
+                let m = &self.segments[id];
+                (m.min_ts, m.max_ts, m.txns, m.loaded, m.offset, m.len)
+            };
+            let bytes = match &mut self.backend {
+                Backend::Memory(bufs) => bufs[id].clone(),
+                Backend::Disk { file, .. } => {
+                    let mut buf = vec![0u8; len];
+                    file.seek(SeekFrom::Start(offset))?;
+                    file.read_exact(&mut buf)?;
+                    buf
+                }
+            };
+            out.push(SegmentExport { min_ts, max_ts, txns, loaded, bytes });
+        }
+        Ok(out)
+    }
+
+    /// Re-install exported segments into a *fresh* store (restore path),
+    /// preserving ids, timestamp ranges and loaded flags. The disk
+    /// backend appends the bytes to its (truncated) file.
+    pub(crate) fn import_segments(&mut self, segments: Vec<SegmentExport>) -> std::io::Result<()> {
+        debug_assert!(self.segments.is_empty(), "import only into a fresh store");
+        for seg in segments {
+            let len = seg.bytes.len();
+            let offset = match &mut self.backend {
+                Backend::Memory(bufs) => {
+                    bufs.push(seg.bytes);
+                    0
+                }
+                Backend::Disk { file, .. } => {
+                    let offset = file.seek(SeekFrom::End(0))?;
+                    file.write_all(&seg.bytes)?;
+                    offset
+                }
+            };
+            self.segments.push(SegmentMeta {
+                min_ts: seg.min_ts,
+                max_ts: seg.max_ts,
+                txns: seg.txns,
+                loaded: seg.loaded,
+                offset,
+                len,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Decode one segment's raw bytes into its spill entries. Shared by
+/// [`SpillStore::reload`] and the checkpoint codec, which validates
+/// imported segments eagerly so a corrupt checkpoint surfaces as a typed
+/// error at restore time instead of a panic at the next straggler reload.
+pub(crate) fn decode_segment(raw: &[u8]) -> Result<Vec<SpillEntry>, CodecError> {
+    let mut slice = raw;
+    let count = codec::get_varint(&mut slice)? as usize;
+    let mut out = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let txn = codec::get_txn_ext(&mut slice)?;
+        let n = codec::get_varint(&mut slice)? as usize;
+        let mut write_set = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let k = Key(codec::get_varint(&mut slice)?);
+            let s = codec::get_snapshot(&mut slice)?;
+            write_set.push((k, s));
+        }
+        out.push(SpillEntry { txn, write_set });
+    }
+    Ok(out)
+}
+
+/// One exported spill segment: the raw encoded bytes plus the metadata
+/// needed to re-install it with identical reload behaviour.
+#[derive(Debug)]
+pub(crate) struct SegmentExport {
+    pub(crate) min_ts: Timestamp,
+    pub(crate) max_ts: Timestamp,
+    pub(crate) txns: usize,
+    pub(crate) loaded: bool,
+    pub(crate) bytes: Vec<u8>,
 }
 
 #[cfg(test)]

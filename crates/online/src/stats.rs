@@ -20,13 +20,17 @@ pub use aion_types::check::{CheckerStats, FlipSummary};
 pub type AionStats = CheckerStats;
 
 /// Collects flip-flop events.
+///
+/// Fields are `pub(crate)` for the checkpoint codec ([`crate::snapshot`]),
+/// which persists the tracker verbatim so a restored session's flip
+/// statistics continue exactly where the interrupted run left off.
 #[derive(Debug, Default)]
 pub struct FlipTracker {
-    detail: bool,
-    total_flips: u64,
-    flips_per_pair: FxHashMap<(TxnId, Key), u32>,
-    txns_with_flips: FxHashSet<TxnId>,
-    rectify_ms: Vec<u64>,
+    pub(crate) detail: bool,
+    pub(crate) total_flips: u64,
+    pub(crate) flips_per_pair: FxHashMap<(TxnId, Key), u32>,
+    pub(crate) txns_with_flips: FxHashSet<TxnId>,
+    pub(crate) rectify_ms: Vec<u64>,
 }
 
 impl FlipTracker {

@@ -1,0 +1,629 @@
+//! The session registry: named, independently configured checking
+//! sessions multiplexed inside one daemon process.
+//!
+//! Each session wraps one [`OnlineChecker`] or [`ShardedChecker`] behind
+//! its own mutex, so tenants proceed in parallel and a busy session
+//! (e.g. one mid-`feed`) answers `busy` instead of blocking the worker
+//! pool. The registry also runs **admission control**: every session's
+//! [`estimated_memory_bytes`](aion_types::Checker::estimated_memory_bytes)
+//! is cached after each feed batch, and new arrivals are refused with a
+//! typed [`ServeError::Backpressure`] once the process-wide total
+//! crosses the configured hard ceiling (a soft ceiling below it only
+//! flags the response, letting well-behaved clients throttle
+//! themselves).
+
+use crate::protocol::OpenParams;
+use crate::ServeError;
+use aion_online::{OnlineChecker, OnlineGcPolicy, ShardedChecker};
+use aion_types::snapshot::{
+    get_snapshot_header, SnapshotError, SNAPSHOT_KIND_SHARDED, SNAPSHOT_KIND_SINGLE,
+};
+use aion_types::{CheckEvent, Checker, Outcome};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The checker variant a session runs.
+#[allow(clippy::large_enum_variant)] // sessions are heap-pinned behind Arc<Mutex<..>>
+pub enum SessionChecker {
+    /// A single-threaded [`OnlineChecker`].
+    Single(OnlineChecker),
+    /// A key-partitioned [`ShardedChecker`].
+    Sharded(ShardedChecker),
+}
+
+impl SessionChecker {
+    /// The wrapped checker's stable name (e.g. `"aion-si"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SessionChecker::Single(c) => c.name(),
+            SessionChecker::Sharded(c) => c.name(),
+        }
+    }
+
+    fn feed(&mut self, txn: aion_types::Transaction, now_ms: u64) -> Vec<CheckEvent> {
+        match self {
+            SessionChecker::Single(c) => Checker::feed(c, txn, now_ms),
+            SessionChecker::Sharded(c) => c.feed(txn, now_ms),
+        }
+    }
+
+    fn tick(&mut self, now_ms: u64) -> Vec<CheckEvent> {
+        match self {
+            SessionChecker::Single(c) => Checker::tick(c, now_ms),
+            SessionChecker::Sharded(c) => Checker::tick(c, now_ms),
+        }
+    }
+
+    fn finish(self) -> Outcome {
+        match self {
+            SessionChecker::Single(c) => Checker::finish(c),
+            SessionChecker::Sharded(c) => Checker::finish(c),
+        }
+    }
+
+    /// Approximate bytes of live checker state.
+    pub fn estimated_memory_bytes(&self) -> usize {
+        match self {
+            SessionChecker::Single(c) => c.estimated_memory_bytes(),
+            SessionChecker::Sharded(c) => Checker::estimated_memory_bytes(c),
+        }
+    }
+
+    /// Serialize the full checker state to a snapshot (see
+    /// `docs/serve.md` for the format).
+    pub fn checkpoint(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        match self {
+            SessionChecker::Single(c) => c.checkpoint(),
+            SessionChecker::Sharded(c) => c.checkpoint(),
+        }
+    }
+
+    /// Snapshot-kind label (`"single"` / `"sharded"`).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            SessionChecker::Single(_) => "single",
+            SessionChecker::Sharded(_) => "sharded",
+        }
+    }
+}
+
+/// Mutable per-session state behind the session mutex.
+pub struct SessionState {
+    /// `None` once the session has been finished (a racing holder of the
+    /// session handle sees "unknown" rather than a stale checker).
+    checker: Option<SessionChecker>,
+    /// The data model the session was opened with (seeds the reader's
+    /// kind hint on feeds).
+    pub kind: aion_types::DataKind,
+    /// Arrivals so far — also the session's virtual clock in ms: like
+    /// [`aion_io::stream_check`], the clock advances one millisecond per
+    /// arrival, and it keeps counting across feeds and across
+    /// checkpoint/restore so EXT timeouts behave as one uninterrupted
+    /// stream.
+    pub txns: u64,
+    /// Events emitted so far.
+    pub events: u64,
+    /// Violation events emitted so far.
+    pub violations: u64,
+}
+
+/// A point-in-time summary of one live session (the `list`/`stats`
+/// responses).
+#[derive(Clone, Debug)]
+pub struct SessionInfo {
+    /// Session name.
+    pub name: String,
+    /// Checker identifier (e.g. `"aion-ser"`), `"busy"` when the session
+    /// mutex was held at sampling time.
+    pub checker: String,
+    /// Arrivals so far.
+    pub txns: u64,
+    /// Events emitted so far.
+    pub events: u64,
+    /// Violation events so far.
+    pub violations: u64,
+    /// Last cached memory estimate.
+    pub memory_bytes: usize,
+}
+
+/// What one `feed` produced.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FeedSummary {
+    /// Transactions ingested by this feed.
+    pub txns: u64,
+    /// Events emitted during this feed.
+    pub events: u64,
+    /// Violation events during this feed.
+    pub violations: u64,
+    /// Memory estimate after the feed.
+    pub memory_bytes: usize,
+    /// The process-wide soft ceiling was crossed at least once.
+    pub soft_pressure: bool,
+}
+
+/// Arrivals between admission-control samples during a feed. Memory
+/// estimation walks per-session maps, so it is amortized rather than
+/// paid per transaction.
+const ADMISSION_SAMPLE_EVERY: u64 = 64;
+
+/// The named-session table plus admission-control accounting.
+pub struct Registry {
+    sessions: Mutex<BTreeMap<String, Arc<Mutex<SessionState>>>>,
+    /// Cached per-session memory estimates. Kept outside the session
+    /// mutexes so computing the process-wide total never has to take
+    /// (or wait on) another tenant's session lock.
+    mem_cache: Mutex<BTreeMap<String, usize>>,
+    soft_limit_bytes: usize,
+    hard_limit_bytes: usize,
+}
+
+impl Registry {
+    /// A registry with the given soft/hard admission ceilings (bytes).
+    pub fn new(soft_limit_bytes: usize, hard_limit_bytes: usize) -> Registry {
+        Registry {
+            sessions: Mutex::new(BTreeMap::new()),
+            mem_cache: Mutex::new(BTreeMap::new()),
+            soft_limit_bytes,
+            hard_limit_bytes,
+        }
+    }
+
+    /// Sum of cached per-session memory estimates.
+    pub fn total_memory_bytes(&self) -> usize {
+        self.mem_cache.lock().values().sum()
+    }
+
+    fn cache_memory(&self, name: &str, bytes: usize) {
+        self.mem_cache.lock().insert(name.to_owned(), bytes);
+    }
+
+    /// Create a session from `params`. Fails on duplicate names and
+    /// invalid configurations.
+    pub fn open(&self, name: &str, params: &OpenParams) -> Result<&'static str, ServeError> {
+        let checker = build_checker(params)?;
+        let label = checker.name();
+        self.insert(name, checker, params.kind)?;
+        Ok(label)
+    }
+
+    fn insert(
+        &self,
+        name: &str,
+        checker: SessionChecker,
+        kind: aion_types::DataKind,
+    ) -> Result<(), ServeError> {
+        let mem = checker.estimated_memory_bytes();
+        let mut sessions = self.sessions.lock();
+        if sessions.contains_key(name) {
+            return Err(ServeError::DuplicateSession(name.to_owned()));
+        }
+        sessions.insert(
+            name.to_owned(),
+            Arc::new(Mutex::new(SessionState {
+                checker: Some(checker),
+                kind,
+                txns: 0,
+                events: 0,
+                violations: 0,
+            })),
+        );
+        drop(sessions);
+        self.cache_memory(name, mem);
+        Ok(())
+    }
+
+    fn handle(&self, name: &str) -> Result<Arc<Mutex<SessionState>>, ServeError> {
+        self.sessions
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownSession(name.to_owned()))
+    }
+
+    /// Stream every transaction of `reader` into session `name`,
+    /// invoking `sink` with each batch of events. The virtual clock
+    /// continues from the session's running arrival count.
+    pub fn feed(
+        &self,
+        name: &str,
+        reader: &mut dyn aion_io::HistoryReader,
+        mut sink: impl FnMut(&[CheckEvent]) -> Result<(), ServeError>,
+    ) -> Result<FeedSummary, ServeError> {
+        let handle = self.handle(name)?;
+        let mut state = handle.try_lock().ok_or_else(|| ServeError::Busy(name.to_owned()))?;
+        let mut summary = FeedSummary::default();
+        let backpressure = |total: usize| ServeError::Backpressure {
+            session: name.to_owned(),
+            estimated_bytes: total,
+            limit_bytes: self.hard_limit_bytes,
+        };
+        // Admit against the cached estimates of previous feeds before
+        // ingesting anything from this one.
+        let cached_total = self.total_memory_bytes();
+        if cached_total > self.hard_limit_bytes {
+            return Err(backpressure(cached_total));
+        }
+        loop {
+            for _ in 0..ADMISSION_SAMPLE_EVERY {
+                let Some(txn) = reader.next_txn()? else {
+                    let mem =
+                        state.checker.as_ref().map_or(0, SessionChecker::estimated_memory_bytes);
+                    self.cache_memory(name, mem);
+                    summary.memory_bytes = mem;
+                    if self.total_memory_bytes() > self.soft_limit_bytes {
+                        summary.soft_pressure = true;
+                    }
+                    return Ok(summary);
+                };
+                let now = state.txns;
+                let checker = state
+                    .checker
+                    .as_mut()
+                    .ok_or_else(|| ServeError::UnknownSession(name.to_owned()))?;
+                let mut evs = checker.tick(now);
+                evs.extend(checker.feed(txn, now));
+                state.txns += 1;
+                summary.txns += 1;
+                summary.events += evs.len() as u64;
+                summary.violations += evs.iter().filter(|e| e.is_violation()).count() as u64;
+                state.events += evs.len() as u64;
+                state.violations += evs.iter().filter(|e| e.is_violation()).count() as u64;
+                sink(&evs)?;
+            }
+            // Re-sample at each batch boundary: a feed overshoots the
+            // hard ceiling by at most one batch before refusal, and the
+            // session keeps everything ingested so far (checkpoint,
+            // finish and retry all remain available).
+            let mem = state.checker.as_ref().map_or(0, SessionChecker::estimated_memory_bytes);
+            self.cache_memory(name, mem);
+            let total = self.total_memory_bytes();
+            if total > self.hard_limit_bytes {
+                return Err(backpressure(total));
+            }
+            if total > self.soft_limit_bytes {
+                summary.soft_pressure = true;
+            }
+        }
+    }
+
+    /// Finish session `name`: fire all pending EXT deadlines, close the
+    /// checker and remove the session. Returns the terminal outcome plus
+    /// the session's lifetime arrival count.
+    pub fn finish(&self, name: &str) -> Result<(Outcome, u64), ServeError> {
+        let handle = self.handle(name)?;
+        let mut state = handle.try_lock().ok_or_else(|| ServeError::Busy(name.to_owned()))?;
+        let mut checker =
+            state.checker.take().ok_or_else(|| ServeError::UnknownSession(name.to_owned()))?;
+        // Jump the virtual clock to the end of time, exactly like
+        // `stream_check`, so every tentative EXT verdict finalizes.
+        let evs = checker.tick(u64::MAX);
+        state.events += evs.len() as u64;
+        state.violations += evs.iter().filter(|e| e.is_violation()).count() as u64;
+        let txns = state.txns;
+        let outcome = checker.finish();
+        drop(state);
+        self.sessions.lock().remove(name);
+        self.mem_cache.lock().remove(name);
+        Ok((outcome, txns))
+    }
+
+    /// Checkpoint session `name` to `path` on the server's filesystem.
+    /// The session keeps running; the snapshot captures the state as of
+    /// this call. Returns `(snapshot kind, bytes written)`.
+    pub fn checkpoint(&self, name: &str, path: &str) -> Result<(&'static str, usize), ServeError> {
+        let handle = self.handle(name)?;
+        let mut state = handle.try_lock().ok_or_else(|| ServeError::Busy(name.to_owned()))?;
+        let txns = state.txns;
+        let data_kind = state.kind;
+        let checker =
+            state.checker.as_mut().ok_or_else(|| ServeError::UnknownSession(name.to_owned()))?;
+        let kind = checker.kind_label();
+        let body = checker.checkpoint().map_err(ServeError::Snapshot)?;
+        // The daemon wraps the checker snapshot with the session's own
+        // resume state (running txn counter, data kind) so a restored
+        // session continues the virtual clock where it stopped.
+        let mut out = Vec::with_capacity(body.len() + 16);
+        out.extend_from_slice(&txns.to_le_bytes());
+        out.push(match data_kind {
+            aion_types::DataKind::Kv => 0,
+            aion_types::DataKind::List => 1,
+        });
+        out.extend_from_slice(&body);
+        let len = out.len();
+        std::fs::write(path, out)?;
+        Ok((kind, len))
+    }
+
+    /// Re-create session `name` from the snapshot at `path`. For sharded
+    /// snapshots `shards` re-partitions onto a different worker count;
+    /// it is rejected for single-checker snapshots.
+    pub fn restore(
+        &self,
+        name: &str,
+        path: &str,
+        shards: Option<usize>,
+    ) -> Result<&'static str, ServeError> {
+        let raw = std::fs::read(path)?;
+        if raw.len() < 9 {
+            return Err(ServeError::Snapshot(SnapshotError::Corrupt(
+                "session snapshot shorter than its resume header".into(),
+            )));
+        }
+        let txns = u64::from_le_bytes(raw[..8].try_into().expect("length checked"));
+        let kind = match raw[8] {
+            0 => aion_types::DataKind::Kv,
+            1 => aion_types::DataKind::List,
+            other => {
+                return Err(ServeError::Snapshot(SnapshotError::Corrupt(format!(
+                    "bad data-kind byte {other} in session resume header"
+                ))))
+            }
+        };
+        let bytes = &raw[9..];
+        // Dispatch on the envelope's kind byte without consuming it —
+        // the restore constructors re-validate the full header.
+        let snap_kind = get_snapshot_header(&mut &bytes[..])?;
+        let checker = match snap_kind {
+            SNAPSHOT_KIND_SINGLE => {
+                if shards.is_some() {
+                    return Err(ServeError::Config(
+                        "cannot re-shard a single-checker snapshot (open a sharded session \
+                         and re-feed, or restore without 'shards')"
+                            .into(),
+                    ));
+                }
+                SessionChecker::Single(OnlineChecker::restore(bytes)?)
+            }
+            SNAPSHOT_KIND_SHARDED => SessionChecker::Sharded(match shards {
+                Some(n) => ShardedChecker::restore_resharded(bytes, n)?,
+                None => ShardedChecker::restore(bytes)?,
+            }),
+            other => {
+                return Err(ServeError::Snapshot(SnapshotError::WrongKind {
+                    expected: SNAPSHOT_KIND_SINGLE,
+                    found: other,
+                }))
+            }
+        };
+        let label = checker.name();
+        self.insert(name, checker, kind)?;
+        if let Some(state) = self.sessions.lock().get(name) {
+            state.lock().txns = txns;
+        }
+        Ok(label)
+    }
+
+    /// Live counters for session `name`.
+    pub fn stats(&self, name: &str) -> Result<SessionInfo, ServeError> {
+        let handle = self.handle(name)?;
+        Ok(self.info(name, &handle))
+    }
+
+    fn info(&self, name: &str, handle: &Arc<Mutex<SessionState>>) -> SessionInfo {
+        let cached = self.mem_cache.lock().get(name).copied().unwrap_or(0);
+        match handle.try_lock() {
+            Some(state) => SessionInfo {
+                name: name.to_owned(),
+                checker: state.checker.as_ref().map_or("finished", SessionChecker::name).to_owned(),
+                txns: state.txns,
+                events: state.events,
+                violations: state.violations,
+                memory_bytes: state
+                    .checker
+                    .as_ref()
+                    .map_or(cached, SessionChecker::estimated_memory_bytes),
+            },
+            // Mid-feed sessions report their cached estimate instead of
+            // blocking `list` behind the feed.
+            None => SessionInfo {
+                name: name.to_owned(),
+                checker: "busy".to_owned(),
+                txns: 0,
+                events: 0,
+                violations: 0,
+                memory_bytes: cached,
+            },
+        }
+    }
+
+    /// Summaries of every live session, in name order.
+    pub fn list(&self) -> Vec<SessionInfo> {
+        let sessions: Vec<(String, Arc<Mutex<SessionState>>)> =
+            self.sessions.lock().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        sessions.iter().map(|(name, handle)| self.info(name, handle)).collect()
+    }
+}
+
+/// Build the checker a fresh `open` asked for.
+fn build_checker(params: &OpenParams) -> Result<SessionChecker, ServeError> {
+    let mut b = OnlineChecker::builder().kind(params.kind).levels(params.levels.clone());
+    if let Some(ms) = params.ext_timeout_ms {
+        b = b.ext_timeout_ms(ms);
+    }
+    if let Some(max_txns) = params.gc_max_txns {
+        b = b.gc(OnlineGcPolicy::Checking { max_txns });
+    }
+    if let Some(p) = &params.spill_path {
+        b = b.spill_path(p.clone());
+    }
+    b = b.track_flip_details(params.flip_details);
+    let cfg_err = |e: aion_online::ConfigError| ServeError::Config(e.to_string());
+    Ok(match params.shards {
+        Some(n) => SessionChecker::Sharded(b.shards(n.max(1)).build_sharded().map_err(cfg_err)?),
+        None => SessionChecker::Single(b.build().map_err(cfg_err)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aion_io::{open_stream, write_history, Format, ReaderOptions};
+    use aion_types::{DataKind, History, Key, TxnBuilder, Value};
+
+    fn tiny_history(anomalous: bool) -> History {
+        let mut h = History::new(DataKind::Kv);
+        h.push(TxnBuilder::new(1).session(0, 0).interval(1, 2).put(Key(1), Value(5)).build());
+        let read = if anomalous { Value(99) } else { Value(5) };
+        h.push(TxnBuilder::new(2).session(1, 0).interval(3, 4).read(Key(1), read).build());
+        h
+    }
+
+    fn feed_history(reg: &Registry, name: &str, h: &History) -> FeedSummary {
+        let mut bytes = Vec::new();
+        write_history(h, Format::Jsonl, &mut bytes).unwrap();
+        let mut reader = open_stream(&bytes[..], Format::Jsonl, ReaderOptions::default()).unwrap();
+        reg.feed(name, reader.as_mut(), |_| Ok(())).unwrap()
+    }
+
+    #[test]
+    fn open_feed_finish_lifecycle() {
+        let reg = Registry::new(usize::MAX, usize::MAX);
+        reg.open("t", &OpenParams::default()).unwrap();
+        assert!(matches!(
+            reg.open("t", &OpenParams::default()),
+            Err(ServeError::DuplicateSession(_))
+        ));
+        let s = feed_history(&reg, "t", &tiny_history(false));
+        assert_eq!(s.txns, 2);
+        let (outcome, txns) = reg.finish("t").unwrap();
+        assert_eq!(txns, 2);
+        assert!(outcome.is_ok());
+        assert!(matches!(reg.finish("t"), Err(ServeError::UnknownSession(_))));
+        assert!(reg.list().is_empty());
+    }
+
+    #[test]
+    fn anomalies_reach_the_outcome() {
+        let reg = Registry::new(usize::MAX, usize::MAX);
+        reg.open("t", &OpenParams::default()).unwrap();
+        feed_history(&reg, "t", &tiny_history(true));
+        let (outcome, _) = reg.finish("t").unwrap();
+        assert!(!outcome.is_ok());
+    }
+
+    #[test]
+    fn hard_ceiling_refuses_feeds_but_keeps_the_session() {
+        let reg = Registry::new(0, 0);
+        reg.open("t", &OpenParams::default()).unwrap();
+        // The first tiny feed finishes inside one admission batch; it
+        // leaves a non-zero cached estimate behind...
+        let s = feed_history(&reg, "t", &tiny_history(false));
+        assert!(s.memory_bytes > 0);
+        // ...so the next feed is refused outright, before ingestion.
+        let mut bytes = Vec::new();
+        write_history(&tiny_history(false), Format::Jsonl, &mut bytes).unwrap();
+        let mut reader = open_stream(&bytes[..], Format::Jsonl, ReaderOptions::default()).unwrap();
+        let err = reg.feed("t", reader.as_mut(), |_| Ok(())).unwrap_err();
+        assert!(matches!(err, ServeError::Backpressure { .. }), "{err}");
+        let stats = reg.stats("t").unwrap();
+        assert_eq!(stats.txns, 2, "the refused feed ingested nothing");
+        // The session survives refusal: finish still yields a verdict.
+        let (outcome, _) = reg.finish("t").unwrap();
+        assert!(outcome.is_ok());
+    }
+
+    #[test]
+    fn hard_ceiling_stops_a_long_feed_at_a_batch_boundary() {
+        let reg = Registry::new(0, 0);
+        reg.open("t", &OpenParams::default()).unwrap();
+        // 130 serial writer transactions: far more than one admission
+        // batch, so the mid-feed re-sample must trip.
+        let mut h = History::new(DataKind::Kv);
+        for i in 0..130u64 {
+            h.push(
+                TxnBuilder::new(i + 1)
+                    .session(0, i as u32)
+                    .interval(2 * i + 1, 2 * i + 2)
+                    .put(Key(i), Value(i))
+                    .build(),
+            );
+        }
+        let mut bytes = Vec::new();
+        write_history(&h, Format::Jsonl, &mut bytes).unwrap();
+        let mut reader = open_stream(&bytes[..], Format::Jsonl, ReaderOptions::default()).unwrap();
+        let err = reg.feed("t", reader.as_mut(), |_| Ok(())).unwrap_err();
+        assert!(matches!(err, ServeError::Backpressure { .. }), "{err}");
+        let stats = reg.stats("t").unwrap();
+        assert_eq!(stats.txns, 64, "refused after exactly one admission batch");
+    }
+
+    #[test]
+    fn soft_ceiling_only_flags_the_feed() {
+        let reg = Registry::new(0, usize::MAX);
+        reg.open("t", &OpenParams::default()).unwrap();
+        let s = feed_history(&reg, "t", &tiny_history(false));
+        assert!(s.soft_pressure);
+        assert_eq!(s.txns, 2);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_the_session_clock() {
+        let dir = std::env::temp_dir().join(format!("aion-serve-reg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("t.ckpt");
+        let snap = snap.to_str().unwrap();
+
+        let reg = Registry::new(usize::MAX, usize::MAX);
+        reg.open("t", &OpenParams::default()).unwrap();
+        feed_history(&reg, "t", &tiny_history(false));
+        let (kind, bytes) = reg.checkpoint("t", snap).unwrap();
+        assert_eq!(kind, "single");
+        assert!(bytes > 9);
+
+        reg.restore("copy", snap, None).unwrap();
+        let stats = reg.stats("copy").unwrap();
+        assert_eq!(stats.txns, 2, "virtual clock resumes, not restarts");
+        let (restored, _) = reg.finish("copy").unwrap();
+        let (original, _) = reg.finish("t").unwrap();
+        assert!(restored.is_ok() && original.is_ok());
+        assert_eq!(restored.report.violations, original.report.violations);
+
+        assert!(
+            matches!(reg.restore("again", snap, Some(2)), Err(ServeError::Config(_)),),
+            "re-sharding a single-checker snapshot is a typed config error"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_sessions_checkpoint_and_reshard() {
+        let dir = std::env::temp_dir().join(format!("aion-serve-shreg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("s.ckpt");
+        let snap = snap.to_str().unwrap();
+
+        let reg = Registry::new(usize::MAX, usize::MAX);
+        let params = OpenParams { shards: Some(2), ..OpenParams::default() };
+        reg.open("s", &params).unwrap();
+        feed_history(&reg, "s", &tiny_history(true));
+        let (kind, _) = reg.checkpoint("s", snap).unwrap();
+        assert_eq!(kind, "sharded");
+
+        reg.restore("s3", snap, Some(3)).unwrap();
+        let (reshard, _) = reg.finish("s3").unwrap();
+        let (orig, _) = reg.finish("s").unwrap();
+        assert_eq!(reshard.is_ok(), orig.is_ok());
+        assert_eq!(reshard.report.violations.len(), orig.report.violations.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_session_snapshots_are_typed() {
+        let dir = std::env::temp_dir().join(format!("aion-serve-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("bad.ckpt");
+        std::fs::write(&p, b"short").unwrap();
+        let reg = Registry::new(usize::MAX, usize::MAX);
+        assert!(matches!(
+            reg.restore("x", p.to_str().unwrap(), None),
+            Err(ServeError::Snapshot(_))
+        ));
+        std::fs::write(&p, [0u8; 64]).unwrap();
+        assert!(matches!(
+            reg.restore("x", p.to_str().unwrap(), None),
+            Err(ServeError::Snapshot(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

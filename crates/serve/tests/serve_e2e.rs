@@ -1,0 +1,217 @@
+//! End-to-end daemon tests over real loopback TCP: the full
+//! serve → feed → checkpoint → kill → restore → verdict cycle the CI
+//! smoke job also exercises, plus wire-level error behaviour.
+
+use aion_serve::{client, ServeConfig, Server};
+use std::path::PathBuf;
+
+fn corpus(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../io/tests/corpus").join(name)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aion-serve-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start(cfg: ServeConfig) -> (String, aion_serve::ServerHandle) {
+    let server = Server::bind(cfg).unwrap();
+    let addr = server.local_addr().to_string();
+    (addr, server.spawn())
+}
+
+fn stop(addr: &str, handle: aion_serve::ServerHandle) {
+    client::shutdown(addr).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn valid_and_anomalous_fixtures_get_the_recorded_verdicts() {
+    let (addr, handle) = start(ServeConfig::default());
+    client::ping(&addr).unwrap();
+
+    // Two tenants with different formats, checked concurrently.
+    client::open(&addr, "good", &client::OpenOptions::default()).unwrap();
+    client::open(&addr, "bad", &client::OpenOptions { shards: Some(2), ..Default::default() })
+        .unwrap();
+
+    let fed = client::feed_path(&addr, "good", corpus("valid_kv_si.jsonl"), false).unwrap();
+    assert!(fed.int_field("txns").unwrap() > 0);
+    assert_eq!(fed.str_field("format"), Some("jsonl"));
+    // The anomalous history rides the binary format: the socket sniffer
+    // must detect it without a file extension.
+    let fed = client::feed_path(&addr, "bad", corpus("lost-update_si.bin"), true).unwrap();
+    assert_eq!(fed.str_field("format"), Some("bin"));
+
+    let list = client::list(&addr).unwrap();
+    assert!(list.terminal.get("sessions").is_some());
+
+    let good = client::finish(&addr, "good").unwrap();
+    assert_eq!(good.str_field("verdict"), Some("ok"));
+    let bad = client::finish(&addr, "bad").unwrap();
+    assert_ne!(bad.str_field("verdict"), Some("ok"));
+    assert!(bad.int_field("violations").unwrap() > 0);
+
+    stop(&addr, handle);
+}
+
+#[test]
+fn events_stream_back_during_the_feed() {
+    let (addr, handle) = start(ServeConfig::default());
+    client::open(&addr, "s", &client::OpenOptions::default()).unwrap();
+    // duplicate-tid commits its violation at arrival, so the event must
+    // arrive mid-feed, before the terminal line.
+    let fed = client::feed_path(&addr, "s", corpus("duplicate-tid_si.jsonl"), true).unwrap();
+    assert!(
+        fed.events.iter().any(|e| { e.get("event").and_then(|v| v.as_str()) == Some("violation") }),
+        "expected a mid-stream violation event, got {:?}",
+        fed.events
+    );
+    client::finish(&addr, "s").unwrap();
+    stop(&addr, handle);
+}
+
+/// The keystone cycle: feed half a history, checkpoint, hard-kill the
+/// daemon (drop it without finishing anything), start a *new* daemon,
+/// restore, feed the second half, and require the verdict an
+/// uninterrupted session produces.
+#[test]
+fn checkpoint_survives_a_daemon_restart() {
+    let dir = scratch("restart");
+    let snap = dir.join("mid.ckpt");
+    let snap = snap.to_str().unwrap();
+
+    let raw = std::fs::read(corpus("write-skew_si.jsonl")).unwrap();
+    let lines: Vec<&[u8]> = raw.split_inclusive(|&b| b == b'\n').collect();
+    let (header, body) = (lines[0], &lines[1..]);
+    let mid = body.len() / 2;
+    let mut first = header.to_vec();
+    body[..mid].iter().for_each(|l| first.extend_from_slice(l));
+    let mut second = header.to_vec();
+    body[mid..].iter().for_each(|l| second.extend_from_slice(l));
+
+    // Uninterrupted reference run, same daemon config.
+    let (addr, handle) = start(ServeConfig::default());
+    client::open(&addr, "ref", &client::OpenOptions::default()).unwrap();
+    client::feed_bytes(&addr, "ref", &raw, false).unwrap();
+    let reference = client::finish(&addr, "ref").unwrap();
+
+    // Interrupted run: first half, checkpoint, kill the daemon.
+    client::open(&addr, "live", &client::OpenOptions::default()).unwrap();
+    client::feed_bytes(&addr, "live", &first, false).unwrap();
+    let ck = client::checkpoint(&addr, "live", snap).unwrap();
+    assert_eq!(ck.str_field("kind"), Some("single"));
+    stop(&addr, handle); // daemon gone, session state gone with it
+
+    // Fresh daemon: restore and finish the stream.
+    let (addr, handle) = start(ServeConfig::default());
+    client::restore(&addr, "live", snap, None).unwrap();
+    client::feed_bytes(&addr, "live", &second, false).unwrap();
+    let resumed = client::finish(&addr, "live").unwrap();
+
+    assert_eq!(resumed.str_field("verdict"), reference.str_field("verdict"));
+    assert_eq!(resumed.int_field("txns"), reference.int_field("txns"));
+    assert_eq!(resumed.int_field("violations"), reference.int_field("violations"));
+    stop(&addr, handle);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Sharded sessions checkpoint and restore across a shard-count change.
+#[test]
+fn sharded_checkpoint_restores_onto_a_different_worker_count() {
+    let dir = scratch("reshard");
+    let snap = dir.join("sharded.ckpt");
+    let snap = snap.to_str().unwrap();
+
+    let (addr, handle) = start(ServeConfig::default());
+    let sharded = client::OpenOptions { shards: Some(2), ..Default::default() };
+    client::open(&addr, "ref", &sharded).unwrap();
+    client::feed_path(&addr, "ref", corpus("read-skew_si.jsonl"), false).unwrap();
+    let reference = client::finish(&addr, "ref").unwrap();
+
+    client::open(&addr, "live", &sharded).unwrap();
+    client::feed_path(&addr, "live", corpus("read-skew_si.jsonl"), false).unwrap();
+    let ck = client::checkpoint(&addr, "live", snap).unwrap();
+    assert_eq!(ck.str_field("kind"), Some("sharded"));
+    client::finish(&addr, "live").unwrap();
+
+    client::restore(&addr, "wider", snap, Some(3)).unwrap();
+    let resumed = client::finish(&addr, "wider").unwrap();
+    assert_eq!(resumed.str_field("verdict"), reference.str_field("verdict"));
+    stop(&addr, handle);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wire_errors_are_typed_and_do_not_kill_the_daemon() {
+    let (addr, handle) = start(ServeConfig::default());
+
+    // Unknown session.
+    let err = client::finish(&addr, "ghost").unwrap_err();
+    assert!(matches!(err, aion_serve::ServeError::UnknownSession(_)), "{err}");
+
+    // Duplicate open.
+    client::open(&addr, "dup", &client::OpenOptions::default()).unwrap();
+    let err = client::open(&addr, "dup", &client::OpenOptions::default()).unwrap_err();
+    assert!(matches!(err, aion_serve::ServeError::DuplicateSession(_)), "{err}");
+
+    // Unparseable history bytes.
+    let err = client::feed_bytes(&addr, "dup", b"\x00\x01garbage\x02", false).unwrap_err();
+    assert!(matches!(err, aion_serve::ServeError::Protocol(_)), "{err}");
+
+    // Bad level token.
+    let err = client::open(
+        &addr,
+        "x",
+        &client::OpenOptions { level: Some("chaotic".into()), ..Default::default() },
+    )
+    .unwrap_err();
+    assert!(matches!(err, aion_serve::ServeError::Protocol(_)), "{err}");
+
+    // Restoring from a non-snapshot file is a typed snapshot error.
+    let dir = scratch("badsnap");
+    let bogus = dir.join("not-a-snapshot");
+    std::fs::write(&bogus, b"AIONCKPT but then garbage garbage garbage").unwrap();
+    let err = client::restore(&addr, "y", bogus.to_str().unwrap(), None).unwrap_err();
+    assert!(matches!(err, aion_serve::ServeError::Protocol(_)), "{err}");
+
+    // After all that abuse the daemon still works.
+    client::feed_path(&addr, "dup", corpus("valid_kv_si.jsonl"), false).unwrap();
+    let done = client::finish(&addr, "dup").unwrap();
+    assert_eq!(done.str_field("verdict"), Some("ok"));
+    stop(&addr, handle);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hard_backpressure_travels_the_wire() {
+    let (addr, handle) =
+        start(ServeConfig { soft_limit_bytes: 0, hard_limit_bytes: 0, ..ServeConfig::default() });
+    client::open(&addr, "t", &client::OpenOptions::default()).unwrap();
+    // First feed populates the memory estimate; afterwards the zero
+    // hard ceiling refuses everything.
+    let fed = client::feed_path(&addr, "t", corpus("valid_kv_si.jsonl"), false).unwrap();
+    assert_eq!(fed.str_field("pressure"), Some("soft"));
+    let err = client::feed_path(&addr, "t", corpus("valid_kv_si.jsonl"), false).unwrap_err();
+    assert!(matches!(err, aion_serve::ServeError::Backpressure { .. }), "{err}");
+    // The session is still live and finishable.
+    let done = client::finish(&addr, "t").unwrap();
+    assert_eq!(done.str_field("verdict"), Some("ok"));
+    stop(&addr, handle);
+}
+
+#[test]
+fn mixed_level_sessions_check_per_transaction_levels() {
+    let (addr, handle) = start(ServeConfig::default());
+    client::open(
+        &addr,
+        "m",
+        &client::OpenOptions { level: Some("mixed".into()), ..Default::default() },
+    )
+    .unwrap();
+    client::feed_path(&addr, "m", corpus("valid_mixed.jsonl"), false).unwrap();
+    let done = client::finish(&addr, "m").unwrap();
+    assert_eq!(done.str_field("verdict"), Some("ok"));
+    stop(&addr, handle);
+}

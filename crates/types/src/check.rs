@@ -165,7 +165,7 @@ impl ShardConfig {
 
 /// Runtime counters kept by streaming checkers (all zero for offline
 /// adapters, which do no incremental work).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CheckerStats {
     /// Transactions received.
     pub received: usize,
@@ -388,6 +388,17 @@ pub trait Checker {
     fn finish(self) -> Outcome
     where
         Self: Sized;
+
+    /// Approximate bytes of live checker state.
+    ///
+    /// Drivers that multiplex many sessions (e.g. `aion-serve`) use this
+    /// for admission control and backpressure, so it must be cheap to
+    /// call between arrivals. The default of `0` means "unbounded feeding
+    /// is fine" and is what offline adapters — whose footprint is just
+    /// the buffered history — report today.
+    fn estimated_memory_bytes(&self) -> usize {
+        0
+    }
 }
 
 #[cfg(test)]

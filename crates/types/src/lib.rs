@@ -23,6 +23,7 @@ mod ids;
 pub mod level;
 mod op;
 pub mod rng;
+pub mod snapshot;
 mod txn;
 mod violation;
 
@@ -40,5 +41,6 @@ pub use op::{
     Mutation, Op, Snapshot,
 };
 pub use rng::{NormalSampler, SplitMix64};
+pub use snapshot::SnapshotError;
 pub use txn::{Transaction, TxnBuilder};
 pub use violation::{AxiomKind, CheckReport, Violation};

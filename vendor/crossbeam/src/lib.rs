@@ -8,9 +8,11 @@
 //! rates this workspace drives.
 
 pub mod channel {
-    //! Multi-producer channels with crossbeam's API shape.
+    //! Multi-producer multi-consumer channels with crossbeam's API
+    //! shape (the receiver clones and distributes, as in the real
+    //! crate; this stand-in serializes competing receivers on a mutex).
 
-    use std::sync::mpsc;
+    use std::sync::{mpsc, Arc, Mutex, PoisonError};
 
     pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
 
@@ -33,36 +35,38 @@ pub mod channel {
         }
     }
 
-    /// The receiving half of an unbounded channel.
+    /// The receiving half of an unbounded channel. Clones share one
+    /// queue: each value is delivered to exactly one receiver.
     #[derive(Debug)]
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    // Manual impl for the same reason as `Sender`: no `T: Clone` bound.
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(self.0.clone())
+        }
+    }
 
     impl<T> Receiver<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
         /// Block until a value arrives or all senders hang up.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv()
+            self.lock().recv()
         }
 
         /// Take a value if one is ready.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv()
-        }
-
-        /// Iterate over values until all senders hang up.
-        pub fn iter(&self) -> mpsc::Iter<'_, T> {
-            self.0.iter()
-        }
-
-        /// Iterate over currently-ready values without blocking.
-        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
-            self.0.try_iter()
+            self.lock().try_recv()
         }
     }
 
     /// An unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
     }
 }
 

@@ -26,6 +26,15 @@ impl<T> Mutex<T> {
         self.inner.lock().unwrap_or_else(sync::PoisonError::into_inner)
     }
 
+    /// Acquire the lock only if it is free right now.
+    pub fn try_lock(&self) -> Option<sync::MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
         self.inner.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
