@@ -7,10 +7,11 @@
 //! experiments convert <in> <out> [--from f] [--to f]
 //! experiments serve [--addr A] [--workers N] [--soft-limit B] [--hard-limit B]
 //! experiments client <op> --addr HOST:PORT ...
+//! experiments dst [--seeds N] [--seed S] [--schedule random|pathological] [--fast] [--out FILE]
 //! experiments list
 //! ```
 
-use aion_bench::experiments::{interchange, run, serve, Ctx, ALL};
+use aion_bench::experiments::{dst, interchange, run, serve, Ctx, ALL};
 
 #[global_allocator]
 static ALLOCATOR: aion_bench::alloc::CountingAllocator = aion_bench::alloc::CountingAllocator;
@@ -24,6 +25,7 @@ fn main() {
         Some("convert") => return interchange::convert_cmd(&args[1..]),
         Some("serve") => return serve::serve_cmd(&args[1..]),
         Some("client") => return serve::client_cmd(&args[1..]),
+        Some("dst") => return dst::dst_cmd(&args[1..]),
         _ => {}
     }
     let mut ctx = Ctx::default();
@@ -63,6 +65,9 @@ fn main() {
                 println!("  convert <in> <out>  (translate between interchange formats)");
                 println!("  serve   (run the aion-serve multi-tenant checking daemon)");
                 println!("  client <op>  (send one AIONSRV/1 request to a running daemon)");
+                println!(
+                    "  dst     (deterministic simulation seed sweep; --seeds N --fast for CI)"
+                );
                 return;
             }
             "all" => ids.extend(ALL.iter().map(|s| s.to_string())),

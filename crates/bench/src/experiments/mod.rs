@@ -6,6 +6,7 @@
 //! paper-scale inputs.
 
 pub mod conformance;
+pub mod dst;
 pub mod flipflops;
 pub mod interchange;
 pub mod offline;

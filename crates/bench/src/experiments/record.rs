@@ -92,6 +92,26 @@ pub fn bench_record(ctx: &Ctx) {
         run_plan(ck, &mixed_plan)
     }));
 
+    // dst-overhead: the sharded hot path now runs behind the
+    // `ShardTransport` object seam (and the serve registry behind the
+    // `Clock` trait) so the DST harness can swap in simulated
+    // implementations. Production uses the same zero-cost defaults as
+    // before; these rows re-measure the `single` and `sharded x4`
+    // configurations through that seam as an A/A pair against their
+    // partner rows above — the spread between partners bounds
+    // abstraction cost plus measurement noise, and on a quiet host
+    // must stay under 2% (on a noisy 1-CPU container, noise dominates).
+    results.push(measure("dst-overhead-single", 0, || single(false)));
+    results.push(measure("dst-overhead-sharded", 4, || {
+        let ck = OnlineChecker::builder()
+            .kind(h.kind)
+            .events(false)
+            .shards(4)
+            .build_sharded()
+            .expect("open session");
+        run_plan(ck, &plan)
+    }));
+
     // serve-ingest: the same history streamed through the aion-serve
     // TCP daemon over loopback (JSONL encoding, socket sniffing,
     // in-order arrival) instead of fed in-process — what the wire path

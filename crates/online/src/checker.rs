@@ -105,6 +105,10 @@ pub struct AionConfig {
     /// [`crate::sharded::ShardedChecker`] session (ignored by the
     /// single-threaded [`OnlineChecker`]).
     pub shard: ShardConfig,
+    /// Spill-IO fault-injection plan (testing only, used by the
+    /// `aion-dst` harness; `None` in production). Shared across all
+    /// shard workers of a session and *not* persisted in checkpoints.
+    pub spill_faults: Option<std::sync::Arc<crate::spill::SpillFaultPlan>>,
     /// True when this checker runs as a shard worker under a
     /// coordinator that owns the global (cross-key) checks: duplicate
     /// tid/timestamp detection, SESSION, and Eq. (1) well-formedness are
@@ -131,6 +135,7 @@ impl Default for AionConfig {
             spill_path: None,
             events: true,
             shard: ShardConfig::default(),
+            spill_faults: None,
             coordinated: false,
             shard_filter: None,
         }
@@ -287,6 +292,13 @@ impl OnlineCheckerBuilder {
         self
     }
 
+    /// Install a spill-IO fault-injection plan (testing only; see
+    /// [`crate::spill::SpillFaultPlan`]).
+    pub fn spill_faults(mut self, plan: std::sync::Arc<crate::spill::SpillFaultPlan>) -> Self {
+        self.cfg.spill_faults = Some(plan);
+        self
+    }
+
     /// Finish building the configuration.
     pub fn config(self) -> AionConfig {
         self.cfg
@@ -304,6 +316,17 @@ impl OnlineCheckerBuilder {
     /// [`ConfigError`] when any worker's spill file cannot be created.
     pub fn build_sharded(self) -> Result<crate::sharded::ShardedChecker, ConfigError> {
         crate::sharded::ShardedChecker::try_new(self.cfg)
+    }
+
+    /// Finish building and open a *simulated* sharded session: the
+    /// workers run inline under the seeded adversarial schedule instead
+    /// of on real threads (the `aion-dst` entry point; see
+    /// [`crate::transport::SimSchedule`]).
+    pub fn build_sharded_sim(
+        self,
+        sched: crate::transport::SimSchedule,
+    ) -> Result<crate::sharded::ShardedChecker, ConfigError> {
+        crate::sharded::ShardedChecker::try_new_sim(self.cfg, sched)
     }
 }
 
@@ -511,11 +534,12 @@ impl OnlineChecker {
     /// problems (an uncreatable spill file) as a typed error instead of
     /// panicking.
     pub fn try_new(cfg: AionConfig) -> Result<OnlineChecker, ConfigError> {
-        let spill = match &cfg.spill_path {
+        let mut spill = match &cfg.spill_path {
             Some(path) => SpillStore::on_disk(path.clone())
                 .map_err(|source| ConfigError::SpillFile { path: path.clone(), source })?,
             None => SpillStore::in_memory(),
         };
+        spill.set_faults(cfg.spill_faults.clone());
         let flips = FlipTracker::new(cfg.track_flip_details);
         let track_overlaps = cfg.levels.may_activate(|c| c.noconflict);
         let has_committed_ext = cfg.levels.may_activate(|c| c.ext == ExtPredicate::Committed);
@@ -1123,15 +1147,32 @@ impl OnlineChecker {
         }
         let spilled: Vec<TxnId> = candidates[..spill_count].iter().map(|&(_, t)| t).collect();
         let mut max_spilled_cts = Timestamp::MIN;
+        // Encode from borrowed state and only evict on success: a failed
+        // write keeps every candidate resident (memory is simply not
+        // reclaimed this pass) and surfaces as a typed event, never a
+        // panic. The clone is dominated by the encoding work either way.
         let entries: Vec<SpillEntry> = spilled
             .iter()
             .map(|tid| {
-                let t = self.txns.remove(tid).expect("candidate is resident");
+                let t = self.txns.get(tid).expect("candidate is resident");
                 max_spilled_cts = max_spilled_cts.max(t.txn.commit_ts);
-                SpillEntry { txn: t.txn, write_set: t.write_set }
+                SpillEntry { txn: t.txn.clone(), write_set: t.write_set.clone() }
             })
             .collect();
-        let (_, bytes) = self.spill.spill(&entries);
+        let bytes = match self.spill.spill(&entries) {
+            Ok((_, bytes)) => bytes,
+            Err(e) => {
+                self.stats.spill_errors += 1;
+                self.emit_event(|| CheckEvent::SpillError {
+                    op: aion_types::SpillOp::Write,
+                    detail: e.to_string(),
+                });
+                return;
+            }
+        };
+        for tid in &spilled {
+            self.txns.remove(tid);
+        }
         self.stats.gc_spills += 1;
         self.stats.spilled_txns += entries.len();
         self.stats.spill_bytes += bytes as u64;
@@ -1169,7 +1210,21 @@ impl OnlineChecker {
     pub(crate) fn reload_below(&mut self, hi: Timestamp) {
         let ids = self.spill.segments_overlapping(Timestamp::MIN, hi);
         for id in ids {
-            let entries = self.spill.reload(id).expect("spill segment decodes");
+            // A segment that fails to reload is skipped for this pass —
+            // typed degradation (re-checks against it see less history)
+            // instead of a panic. The segment stays marked unloaded, so
+            // a later pass retries it.
+            let entries = match self.spill.reload(id) {
+                Ok(entries) => entries,
+                Err(e) => {
+                    self.stats.spill_errors += 1;
+                    self.emit_event(|| CheckEvent::SpillError {
+                        op: aion_types::SpillOp::Reload,
+                        detail: e.to_string(),
+                    });
+                    continue;
+                }
+            };
             for e in entries {
                 let tid = e.txn.tid;
                 if self.txns.contains_key(&tid) {

@@ -31,6 +31,7 @@ pub mod sharded;
 pub mod snapshot;
 pub mod spill;
 pub mod stats;
+pub mod transport;
 pub mod versioned;
 
 pub use aion_types::check::{CheckEvent, Checker, Outcome, ShardConfig};
@@ -45,6 +46,7 @@ pub use feed::{
     TimedEvent,
 };
 pub use sharded::ShardedChecker;
-pub use spill::{SpillEntry, SpillStore};
+pub use spill::{SpillEntry, SpillFaultPlan, SpillStore};
 pub use stats::{AionStats, FlipSummary};
+pub use transport::{SimSchedule, SimStats};
 pub use versioned::VersionedMap;

@@ -64,6 +64,9 @@ use crate::checker::{
 use crate::feed::{route_txn, shard_of, RoutedTxn};
 use crate::index::ReadRef;
 use crate::snapshot::{get_config, get_events, get_globals, put_config, put_events, put_globals};
+use crate::transport::{
+    ShardCmd, ShardReply, ShardTransport, SimSchedule, SimStats, SimTransport, ThreadTransport,
+};
 use aion_types::codec::{get_varint, put_varint, CodecError};
 use aion_types::snapshot::{
     get_report, get_snapshot_header, put_report, put_snapshot_header, SnapshotError,
@@ -74,53 +77,9 @@ use aion_types::{
     Outcome, Snapshot, Timestamp, Transaction, TxnId, Violation,
 };
 use bytes::{BufMut, BytesMut};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::cmp::Reverse;
 use std::path::Path;
 use std::sync::Arc;
-use std::thread::JoinHandle;
-
-/// Commands the coordinator sends to a shard worker.
-enum ShardCmd {
-    /// Process one (sub-)transaction at virtual time `now_ms` (the
-    /// worker ticks its clock up to `now_ms` first). Shared via `Arc`
-    /// so a split transaction is *not* deep-cloned on the coordinator's
-    /// critical path — the last worker to unwrap it takes ownership,
-    /// the others clone in parallel on their own threads.
-    Feed { txn: Arc<Transaction>, now_ms: u64 },
-    /// Advance the worker's virtual clock, firing EXT timeouts.
-    Tick { now_ms: u64 },
-    /// Acknowledge once every prior command has been processed.
-    Flush,
-    /// Serialize the worker checker's complete state and reply with the
-    /// checkpoint body bytes.
-    Checkpoint,
-    /// Report the worker checker's estimated memory footprint on the
-    /// dedicated memory channel (so the coordinator can query it with
-    /// `&self`, without touching the staged reply stream).
-    Memory,
-    /// Finish the worker's checker and reply with its outcome.
-    Finish,
-}
-
-/// Replies flowing back from workers (per-worker FIFO order).
-enum ShardReply {
-    /// Events produced by a `Feed`, plus whether the fed part still
-    /// holds tentative EXT verdicts on this shard (an `ExtFinalized`
-    /// follows from this worker eventually iff `pending`). Only sent
-    /// when events are on.
-    Fed { tid: TxnId, pending: bool, events: Vec<CheckEvent> },
-    /// Events produced by a `Tick`. Only sent when events are on.
-    Ticked { events: Vec<CheckEvent> },
-    /// Barrier acknowledgement for `Flush`.
-    Flushed,
-    /// Checkpoint body bytes for `Checkpoint` (or the error producing
-    /// them raised).
-    Checkpointed { shard: usize, body: Result<Vec<u8>, SnapshotError> },
-    /// Terminal outcome for `Finish` (boxed: it dwarfs the streaming
-    /// variants and is sent once per worker).
-    Done { shard: usize, outcome: Box<Outcome> },
-}
 
 /// Merge state for one read-bearing transaction, driven entirely by
 /// worker replies: the coordinator only knows how many `Fed` replies
@@ -151,13 +110,10 @@ struct PendingFinalize {
 pub struct ShardedChecker {
     cfg: AionConfig,
     shards: usize,
-    cmd_tx: Vec<Sender<ShardCmd>>,
-    reply_rx: Receiver<ShardReply>,
-    /// Memory-estimate replies travel on their own channel so
-    /// [`Checker::estimated_memory_bytes`] (`&self`) never has to absorb
-    /// staged event replies.
-    mem_rx: Receiver<usize>,
-    workers: Vec<JoinHandle<()>>,
+    /// How commands reach the workers and replies come back: real
+    /// threads over channels in production, the deterministic simulator
+    /// under `aion-dst` (see [`crate::transport`]).
+    transport: Box<dyn ShardTransport>,
     /// Coordinator-owned global checks — the same `GlobalChecks` code
     /// the single checker runs, executed once per whole transaction.
     globals: GlobalChecks,
@@ -193,19 +149,37 @@ impl ShardedChecker {
     /// Every worker checker is constructed *before* any thread spawns,
     /// so a failure leaves no half-started session behind.
     pub fn try_new(cfg: AionConfig) -> Result<ShardedChecker, ConfigError> {
+        let checkers = Self::worker_checkers(&cfg)?;
+        Ok(Self::fresh(cfg, Box::new(ThreadTransport::spawn(checkers))))
+    }
+
+    /// [`ShardedChecker::try_new`], but the workers run inline on the
+    /// calling thread under the seeded adversarial [`SimSchedule`] —
+    /// the deterministic simulation entry point used by `aion-dst`.
+    /// Verdicts must be identical to [`ShardedChecker::try_new`]'s for
+    /// any schedule; only event *timing* may differ.
+    pub fn try_new_sim(cfg: AionConfig, sched: SimSchedule) -> Result<ShardedChecker, ConfigError> {
+        let checkers = Self::worker_checkers(&cfg)?;
+        Ok(Self::fresh(cfg, Box::new(SimTransport::new(checkers, sched))))
+    }
+
+    /// Every worker checker is constructed *before* any thread spawns,
+    /// so a failure leaves no half-started session behind.
+    fn worker_checkers(cfg: &AionConfig) -> Result<Vec<OnlineChecker>, ConfigError> {
         let shards = cfg.shard.shards.max(1);
         let mut checkers = Vec::with_capacity(shards);
         for shard in 0..shards {
-            checkers.push(OnlineChecker::try_new(worker_config(&cfg, shard, shards))?);
+            checkers.push(OnlineChecker::try_new(worker_config(cfg, shard, shards))?);
         }
-        let spawned = spawn_workers(checkers);
-        Ok(ShardedChecker {
+        Ok(checkers)
+    }
+
+    fn fresh(cfg: AionConfig, transport: Box<dyn ShardTransport>) -> ShardedChecker {
+        let shards = cfg.shard.shards.max(1);
+        ShardedChecker {
             cfg,
             shards,
-            cmd_tx: spawned.cmd_tx,
-            reply_rx: spawned.reply_rx,
-            mem_rx: spawned.mem_rx,
-            workers: spawned.workers,
+            transport,
             globals: GlobalChecks::default(),
             report: CheckReport::new(),
             pending: FxHashMap::default(),
@@ -214,7 +188,7 @@ impl ShardedChecker {
             now_ms: 0,
             last_tick_broadcast: 0,
             events: Vec::new(),
-        })
+        }
     }
 
     /// A sharded session with `shards` workers over an otherwise
@@ -322,10 +296,14 @@ impl ShardedChecker {
         }
     }
 
-    fn send(&self, shard: usize, cmd: ShardCmd) {
-        // A worker can only be gone if it panicked; surface that at
-        // finish/join instead of here.
-        let _ = self.cmd_tx[shard].send(cmd);
+    fn send(&mut self, shard: usize, cmd: ShardCmd) {
+        self.transport.send(shard, cmd);
+    }
+
+    /// Schedule/fault counters of the simulated transport (`None` for
+    /// production sessions over real threads).
+    pub fn sim_stats(&self) -> Option<SimStats> {
+        self.transport.sim_stats()
     }
 
     /// Advance the virtual clock. Broadcasts to workers at most every
@@ -362,17 +340,17 @@ impl ShardedChecker {
         }
         let mut flushed = 0usize;
         while flushed < self.shards {
-            match self.reply_rx.recv() {
-                Ok(ShardReply::Flushed) => flushed += 1,
-                Ok(reply) => self.absorb(reply, &mut Vec::new()),
-                Err(_) => break, // a worker died; finish() will report via join
+            match self.transport.recv() {
+                Some(ShardReply::Flushed) => flushed += 1,
+                Some(reply) => self.absorb(reply, &mut Vec::new()),
+                None => break, // a worker died; finish() will report via join
             }
         }
     }
 
     /// Drain currently-ready worker replies without blocking.
     fn pump(&mut self) {
-        while let Ok(reply) = self.reply_rx.try_recv() {
+        while let Some(reply) = self.transport.try_recv() {
             self.absorb(reply, &mut Vec::new());
         }
     }
@@ -463,20 +441,16 @@ impl ShardedChecker {
         }
         let mut outcomes: Vec<(usize, Outcome)> = Vec::with_capacity(self.shards);
         while outcomes.len() < self.shards {
-            match self.reply_rx.recv() {
-                Ok(reply) => {
+            match self.transport.recv() {
+                Some(reply) => {
                     let mut done = Vec::new();
                     self.absorb(reply, &mut done);
                     outcomes.append(&mut done);
                 }
-                Err(_) => break, // worker died; join below panics with its message
+                None => break, // worker died; join below panics with its message
             }
         }
-        for handle in self.workers.drain(..) {
-            if let Err(panic) = handle.join() {
-                std::panic::resume_unwind(panic);
-            }
-        }
+        self.transport.join();
         outcomes.sort_unstable_by_key(|(shard, _)| *shard);
 
         let mut report = std::mem::take(&mut self.report);
@@ -512,13 +486,13 @@ impl ShardedChecker {
         let mut bodies: Vec<Option<Vec<u8>>> = (0..self.shards).map(|_| None).collect();
         let mut got = 0usize;
         while got < self.shards {
-            match self.reply_rx.recv() {
-                Ok(ShardReply::Checkpointed { shard, body }) => {
+            match self.transport.recv() {
+                Some(ShardReply::Checkpointed { shard, body }) => {
                     bodies[shard] = Some(body?);
                     got += 1;
                 }
-                Ok(reply) => self.absorb(reply, &mut Vec::new()),
-                Err(_) => {
+                Some(reply) => self.absorb(reply, &mut Vec::new()),
+                None => {
                     return Err(SnapshotError::Corrupt(
                         "a shard worker died during checkpoint".into(),
                     ))
@@ -571,8 +545,14 @@ impl ShardedChecker {
     /// interrupted session would have.
     pub fn restore(bytes: &[u8]) -> Result<ShardedChecker, SnapshotError> {
         let (parsed, old_workers) = SharedParse::read(bytes)?;
-        let spawned = spawn_workers(old_workers);
-        Ok(parsed.into_checker(spawned))
+        Ok(parsed.into_checker(Box::new(ThreadTransport::spawn(old_workers))))
+    }
+
+    /// [`ShardedChecker::restore`] onto the deterministic simulated
+    /// transport (see [`ShardedChecker::try_new_sim`]).
+    pub fn restore_sim(bytes: &[u8], sched: SimSchedule) -> Result<ShardedChecker, SnapshotError> {
+        let (parsed, old_workers) = SharedParse::read(bytes)?;
+        Ok(parsed.into_checker(Box::new(SimTransport::new(old_workers, sched))))
     }
 
     /// Restore from a checkpoint file written by
@@ -596,6 +576,26 @@ impl ShardedChecker {
     pub fn restore_resharded(
         bytes: &[u8],
         new_shards: usize,
+    ) -> Result<ShardedChecker, SnapshotError> {
+        Self::restore_resharded_with(bytes, new_shards, |w| Box::new(ThreadTransport::spawn(w)))
+    }
+
+    /// [`ShardedChecker::restore_resharded`] onto the deterministic
+    /// simulated transport (see [`ShardedChecker::try_new_sim`]).
+    pub fn restore_resharded_sim(
+        bytes: &[u8],
+        new_shards: usize,
+        sched: SimSchedule,
+    ) -> Result<ShardedChecker, SnapshotError> {
+        Self::restore_resharded_with(bytes, new_shards, move |w| {
+            Box::new(SimTransport::new(w, sched))
+        })
+    }
+
+    fn restore_resharded_with(
+        bytes: &[u8],
+        new_shards: usize,
+        mk: impl FnOnce(Vec<OnlineChecker>) -> Box<dyn ShardTransport>,
     ) -> Result<ShardedChecker, SnapshotError> {
         let (mut parsed, old_workers) = SharedParse::read(bytes)?;
         let new_shards = new_shards.max(1);
@@ -624,8 +624,7 @@ impl ShardedChecker {
         });
         parsed.events.extend(emitted);
 
-        let spawned = spawn_workers(workers);
-        Ok(parsed.into_checker(spawned))
+        Ok(parsed.into_checker(mk(workers)))
     }
 }
 
@@ -717,14 +716,11 @@ impl SharedParse {
         ))
     }
 
-    fn into_checker(self, spawned: Spawned) -> ShardedChecker {
+    fn into_checker(self, transport: Box<dyn ShardTransport>) -> ShardedChecker {
         ShardedChecker {
             cfg: self.cfg,
             shards: self.shards,
-            cmd_tx: spawned.cmd_tx,
-            reply_rx: spawned.reply_rx,
-            mem_rx: spawned.mem_rx,
-            workers: spawned.workers,
+            transport,
             globals: self.globals,
             report: self.report,
             pending: self.pending,
@@ -759,37 +755,6 @@ fn worker_config(cfg: &AionConfig, shard: usize, shards: usize) -> AionConfig {
         worker_cfg.spill_path = Some(p.into());
     }
     worker_cfg
-}
-
-/// Channel ends and join handles produced by [`spawn_workers`].
-struct Spawned {
-    cmd_tx: Vec<Sender<ShardCmd>>,
-    reply_rx: Receiver<ShardReply>,
-    mem_rx: Receiver<usize>,
-    workers: Vec<JoinHandle<()>>,
-}
-
-/// Spawn one worker thread per prepared checker (fresh sessions and both
-/// restore paths share this).
-fn spawn_workers(checkers: Vec<OnlineChecker>) -> Spawned {
-    let (reply_tx, reply_rx) = unbounded::<ShardReply>();
-    let (mem_tx, mem_rx) = unbounded::<usize>();
-    let mut cmd_tx = Vec::with_capacity(checkers.len());
-    let mut workers = Vec::with_capacity(checkers.len());
-    for (shard, checker) in checkers.into_iter().enumerate() {
-        let (tx, rx) = unbounded::<ShardCmd>();
-        cmd_tx.push(tx);
-        let events_on = checker.config().events;
-        let reply_tx = reply_tx.clone();
-        let mem_tx = mem_tx.clone();
-        workers.push(
-            std::thread::Builder::new()
-                .name(format!("aion-shard-{shard}"))
-                .spawn(move || worker_loop(shard, checker, rx, reply_tx, mem_tx, events_on))
-                .expect("spawn shard worker"),
-        );
-    }
-    Spawned { cmd_tx, reply_rx, mem_rx, workers }
 }
 
 /// Merge the decoded workers of a sharded checkpoint and re-partition
@@ -975,83 +940,13 @@ impl Checker for ShardedChecker {
         ShardedChecker::finish(self)
     }
 
-    /// Aggregate of every worker's estimate (queried over the dedicated
-    /// memory channel) plus the coordinator's own staged state.
+    /// Aggregate of every worker's estimate (queried through the
+    /// transport) plus the coordinator's own staged state.
     fn estimated_memory_bytes(&self) -> usize {
-        let mut total = self.events.capacity() * std::mem::size_of::<CheckEvent>()
+        self.events.capacity() * std::mem::size_of::<CheckEvent>()
             + self.pending.len()
-                * (std::mem::size_of::<TxnId>() + std::mem::size_of::<PendingFinalize>());
-        let mut expected = 0usize;
-        for shard in 0..self.shards {
-            if self.cmd_tx[shard].send(ShardCmd::Memory).is_ok() {
-                expected += 1;
-            }
-        }
-        for _ in 0..expected {
-            match self.mem_rx.recv() {
-                Ok(bytes) => total += bytes,
-                Err(_) => break,
-            }
-        }
-        total
-    }
-}
-
-/// A shard worker: drains commands in order, catching its clock up
-/// before each arrival so finalization verdicts match the single
-/// checker's, and replies with events (when on) plus the pending flag
-/// the coordinator's `ExtFinalized` merge needs.
-fn worker_loop(
-    shard: usize,
-    checker: OnlineChecker,
-    rx: Receiver<ShardCmd>,
-    tx: Sender<ShardReply>,
-    mem_tx: Sender<usize>,
-    events_on: bool,
-) {
-    let mut checker = Some(checker);
-    while let Ok(cmd) = rx.recv() {
-        let ck = checker.as_mut().expect("worker alive");
-        match cmd {
-            ShardCmd::Feed { txn, now_ms } => {
-                let tid = txn.tid;
-                // Last holder takes ownership; other shards of a split
-                // transaction deep-clone here, off the coordinator's
-                // critical path.
-                let txn = Arc::try_unwrap(txn).unwrap_or_else(|shared| (*shared).clone());
-                let mut events = ck.tick(now_ms);
-                events.extend(ck.receive(txn, now_ms));
-                if events_on {
-                    // Whether this shard still holds tentative reads for
-                    // the transaction — the single source of truth the
-                    // coordinator's ExtFinalized merge is driven by.
-                    let pending = ck.is_pending(tid);
-                    let _ = tx.send(ShardReply::Fed { tid, pending, events });
-                }
-            }
-            ShardCmd::Tick { now_ms } => {
-                let events = ck.tick(now_ms);
-                if events_on {
-                    let _ = tx.send(ShardReply::Ticked { events });
-                }
-            }
-            ShardCmd::Flush => {
-                let _ = tx.send(ShardReply::Flushed);
-            }
-            ShardCmd::Checkpoint => {
-                let mut buf = BytesMut::with_capacity(1024);
-                let body = ck.write_snapshot_body(&mut buf).map(|()| buf.to_vec());
-                let _ = tx.send(ShardReply::Checkpointed { shard, body });
-            }
-            ShardCmd::Memory => {
-                let _ = mem_tx.send(ck.estimated_memory_bytes());
-            }
-            ShardCmd::Finish => {
-                let outcome = Box::new(checker.take().expect("worker alive").finish());
-                let _ = tx.send(ShardReply::Done { shard, outcome });
-                return;
-            }
-        }
+                * (std::mem::size_of::<TxnId>() + std::mem::size_of::<PendingFinalize>())
+            + self.transport.memory_bytes()
     }
 }
 
@@ -1180,6 +1075,32 @@ mod tests {
         let (a, b) = (single.finish(), sharded.finish());
         assert_eq!(a.report.violations, b.report.violations);
         assert_eq!(a.flips.total_flips, b.flips.total_flips);
+    }
+
+    #[test]
+    fn simulated_transport_matches_threaded_verdicts() {
+        let txns = [
+            t(1, 0, 0, 1, 2).put(Key(1), Value(1)).put(Key(7), Value(7)).build(),
+            t(2, 1, 0, 3, 5).put(Key(1), Value(2)).build(),
+            t(3, 2, 0, 6, 9).read(Key(1), Value(2)).read(Key(7), Value(9)).build(),
+            t(4, 3, 0, 8, 10).read(Key(7), Value(7)).build(),
+        ];
+        let mut threaded = sharded(3);
+        let mut sim = OnlineChecker::builder()
+            .shards(3)
+            .build_sharded_sim(SimSchedule::pathological(42))
+            .unwrap();
+        for (i, txn) in txns.iter().enumerate() {
+            threaded.receive(txn.clone(), i as u64);
+            sim.receive(txn.clone(), i as u64);
+        }
+        threaded.tick(u64::MAX);
+        sim.tick(u64::MAX);
+        assert!(sim.sim_stats().is_some() && threaded.sim_stats().is_none());
+        let (a, b) = (threaded.finish(), sim.finish());
+        assert_eq!(a.report.violations, b.report.violations);
+        assert_eq!(a.flips.total_flips, b.flips.total_flips);
+        assert_eq!(a.stats.finalized, b.stats.finalized);
     }
 
     #[test]

@@ -11,11 +11,68 @@
 //! no filesystem dependency — useful for tests and deterministic benches).
 
 use aion_types::codec::{self, CodecError};
+use aion_types::rng::SplitMix64;
 use aion_types::{Key, Snapshot, Timestamp, Transaction};
 use bytes::BytesMut;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Seeded spill-IO fault injection plan (used by the `aion-dst`
+/// simulation harness; `None` everywhere in production).
+///
+/// Each spill-store operation consults the plan before touching its
+/// backend and fails with a synthetic [`std::io::Error`] with the
+/// configured probability. The plan is shared (`Arc`) across the shard
+/// workers of one checking session so a single seed governs the whole
+/// run; draws are serialized through a mutex, which is irrelevant for
+/// determinism within one worker and fine for the simulator, whose
+/// workers run on one thread anyway.
+pub struct SpillFaultPlan {
+    rng: Mutex<SplitMix64>,
+    write_fail_p: f64,
+    reload_fail_p: f64,
+    fired: AtomicU64,
+}
+
+impl SpillFaultPlan {
+    /// A plan failing spill writes with probability `write_fail_p` and
+    /// segment reloads with probability `reload_fail_p`.
+    pub fn new(seed: u64, write_fail_p: f64, reload_fail_p: f64) -> Arc<SpillFaultPlan> {
+        Arc::new(SpillFaultPlan {
+            rng: Mutex::new(SplitMix64::new(seed ^ 0x5fa1_17fa_u64)),
+            write_fail_p,
+            reload_fail_p,
+            fired: AtomicU64::new(0),
+        })
+    }
+
+    /// How many faults this plan has injected so far.
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    fn trip(&self, p: f64, what: &str) -> Option<std::io::Error> {
+        if p > 0.0 && self.rng.lock().unwrap().chance(p) {
+            self.fired.fetch_add(1, Ordering::SeqCst);
+            Some(std::io::Error::other(format!("injected spill {what} fault")))
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Debug for SpillFaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillFaultPlan")
+            .field("write_fail_p", &self.write_fail_p)
+            .field("reload_fail_p", &self.reload_fail_p)
+            .field("fired", &self.fired())
+            .finish()
+    }
+}
 
 /// One spilled transaction with its derived write set.
 #[derive(Clone, PartialEq, Debug)]
@@ -49,20 +106,31 @@ enum Backend {
 pub struct SpillStore {
     backend: Backend,
     segments: Vec<SegmentMeta>,
+    faults: Option<Arc<SpillFaultPlan>>,
 }
 
 impl SpillStore {
     /// A spill store backed by memory buffers (encode/decode costs are
     /// identical to the disk backend).
     pub fn in_memory() -> SpillStore {
-        SpillStore { backend: Backend::Memory(Vec::new()), segments: Vec::new() }
+        SpillStore { backend: Backend::Memory(Vec::new()), segments: Vec::new(), faults: None }
     }
 
     /// A spill store backed by a file at `path` (created/truncated).
     pub fn on_disk(path: PathBuf) -> std::io::Result<SpillStore> {
         let file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(&path)?;
-        Ok(SpillStore { backend: Backend::Disk { file, _path: path }, segments: Vec::new() })
+        Ok(SpillStore {
+            backend: Backend::Disk { file, _path: path },
+            segments: Vec::new(),
+            faults: None,
+        })
+    }
+
+    /// Install a fault-injection plan (testing only; see
+    /// [`SpillFaultPlan`]).
+    pub fn set_faults(&mut self, faults: Option<Arc<SpillFaultPlan>>) {
+        self.faults = faults;
     }
 
     /// Number of segments written so far.
@@ -72,8 +140,15 @@ impl SpillStore {
 
     /// Spill a batch of entries as one segment; returns its id and the
     /// encoded size in bytes. Entries must be non-empty.
-    pub fn spill(&mut self, entries: &[SpillEntry]) -> (SegmentId, usize) {
+    ///
+    /// On an IO error no segment is recorded and the store stays
+    /// consistent: the caller keeps the entries resident and may retry a
+    /// later pass.
+    pub fn spill(&mut self, entries: &[SpillEntry]) -> std::io::Result<(SegmentId, usize)> {
         assert!(!entries.is_empty(), "cannot spill an empty segment");
+        if let Some(e) = self.faults.as_ref().and_then(|f| f.trip(f.write_fail_p, "write")) {
+            return Err(e);
+        }
         let mut buf = BytesMut::with_capacity(entries.len() * 64);
         codec::put_varint(&mut buf, entries.len() as u64);
         let mut min_ts = Timestamp::MAX;
@@ -98,8 +173,8 @@ impl SpillStore {
                 (0, bytes)
             }
             Backend::Disk { file, .. } => {
-                let offset = file.seek(SeekFrom::End(0)).expect("seek spill file");
-                file.write_all(&buf).expect("write spill segment");
+                let offset = file.seek(SeekFrom::End(0))?;
+                file.write_all(&buf)?;
                 (offset, bytes)
             }
         };
@@ -112,7 +187,7 @@ impl SpillStore {
             offset,
             len,
         });
-        (id, bytes)
+        Ok((id, bytes))
     }
 
     /// Ids of not-yet-reloaded segments whose `[min_ts, max_ts]` range
@@ -127,7 +202,16 @@ impl SpillStore {
     }
 
     /// Reload a segment, marking it resident. Returns its entries.
+    ///
+    /// A failed reload (here mapped to [`CodecError::UnexpectedEof`], as
+    /// the caller distinguishes only success from failure) leaves the
+    /// segment marked *not* loaded, so a later pass can retry it.
     pub fn reload(&mut self, id: SegmentId) -> Result<Vec<SpillEntry>, CodecError> {
+        if let Some(f) = self.faults.as_ref() {
+            if f.trip(f.reload_fail_p, "reload").is_some() {
+                return Err(CodecError::UnexpectedEof);
+            }
+        }
         let meta = &mut self.segments[id];
         let raw: Vec<u8> = match &mut self.backend {
             Backend::Memory(bufs) => bufs[id].clone(),
@@ -267,7 +351,7 @@ mod tests {
     fn memory_roundtrip() {
         let mut store = SpillStore::in_memory();
         let entries = vec![entry(1, 10, 20), entry(2, 30, 40)];
-        let (id, bytes) = store.spill(&entries);
+        let (id, bytes) = store.spill(&entries).unwrap();
         assert!(bytes > 0);
         assert_eq!(store.resident_out(), 2);
         let back = store.reload(id).unwrap();
@@ -283,8 +367,8 @@ mod tests {
         let mut store = SpillStore::on_disk(path.clone()).unwrap();
         let a = vec![entry(1, 10, 20)];
         let b = vec![entry(2, 30, 40), entry(3, 50, 60)];
-        let (ia, _) = store.spill(&a);
-        let (ib, _) = store.spill(&b);
+        let (ia, _) = store.spill(&a).unwrap();
+        let (ib, _) = store.spill(&b).unwrap();
         assert_eq!(store.reload(ib).unwrap(), b);
         assert_eq!(store.reload(ia).unwrap(), a);
         std::fs::remove_dir_all(&dir).ok();
@@ -293,8 +377,8 @@ mod tests {
     #[test]
     fn overlap_query_by_timestamp_range() {
         let mut store = SpillStore::in_memory();
-        let (a, _) = store.spill(&[entry(1, 10, 20)]);
-        let (b, _) = store.spill(&[entry(2, 30, 40)]);
+        let (a, _) = store.spill(&[entry(1, 10, 20)]).unwrap();
+        let (b, _) = store.spill(&[entry(2, 30, 40)]).unwrap();
         assert_eq!(store.segments_overlapping(Timestamp(15), Timestamp(18)), vec![a]);
         assert_eq!(store.segments_overlapping(Timestamp(5), Timestamp(100)), vec![a, b]);
         assert!(store.segments_overlapping(Timestamp(21), Timestamp(29)).is_empty());
@@ -306,6 +390,34 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot spill an empty segment")]
     fn empty_spill_rejected() {
-        SpillStore::in_memory().spill(&[]);
+        let _ = SpillStore::in_memory().spill(&[]);
+    }
+
+    #[test]
+    fn injected_write_faults_are_typed_and_leave_the_store_consistent() {
+        let mut store = SpillStore::in_memory();
+        store.set_faults(Some(SpillFaultPlan::new(7, 1.0, 0.0)));
+        let err = store.spill(&[entry(1, 10, 20)]).unwrap_err();
+        assert!(err.to_string().contains("injected spill write fault"));
+        assert_eq!(store.num_segments(), 0);
+        assert_eq!(store.resident_out(), 0);
+        // Clearing the plan restores normal operation.
+        store.set_faults(None);
+        let (id, _) = store.spill(&[entry(1, 10, 20)]).unwrap();
+        assert_eq!(store.reload(id).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn injected_reload_faults_keep_the_segment_retryable() {
+        let mut store = SpillStore::in_memory();
+        let (id, _) = store.spill(&[entry(1, 10, 20)]).unwrap();
+        let plan = SpillFaultPlan::new(3, 0.0, 1.0);
+        store.set_faults(Some(plan.clone()));
+        assert_eq!(store.reload(id), Err(CodecError::UnexpectedEof));
+        assert_eq!(plan.fired(), 1);
+        // The segment was not marked loaded: still offered for reload.
+        assert_eq!(store.segments_overlapping(Timestamp(10), Timestamp(20)), vec![id]);
+        store.set_faults(None);
+        assert_eq!(store.reload(id).unwrap().len(), 1);
     }
 }

@@ -13,7 +13,7 @@
 //! random workloads, injected anomalies, all isolation levels plus a
 //! per-transaction mixed policy, and random cut points.
 
-use aion_online::{OnlineChecker, ShardedChecker};
+use aion_online::{OnlineChecker, ShardedChecker, SimSchedule};
 use aion_types::{
     Checker, History, IsolationLevel, LevelPolicy, Outcome, SessionId, SplitMix64, Transaction,
 };
@@ -284,6 +284,57 @@ proptest! {
         assert_same_outcome(&plain, &resumed, "sharded resume")?;
         let resharded = drive_sharded(lp, &h, &arrivals, shards, cut, Some(reshard));
         assert_same_outcome(&plain, &resharded, "resharded resume")?;
+    }
+
+    /// Snapshot under schedule: the sharded checkpoint is taken while a
+    /// deterministic *adversarial* transport (deferred deliveries,
+    /// dropped clock broadcasts, stalled workers — `SimSchedule`) is
+    /// perturbing the coordinator conversation, and the restored run
+    /// resumes under a *different* adversarial schedule. Verdict and
+    /// violation multiset must still match the plain threaded run: a
+    /// checkpoint cut is correct at *any* reachable coordinator state,
+    /// not just the quiesced ones the threaded tests happen to visit.
+    #[test]
+    fn checkpoint_under_adversarial_schedule_matches(
+        spec in arb_spec(),
+        what in arb_inject(),
+        shards in 2usize..5,
+        reshard in 1usize..5,
+        shuffle_seed in 0u64..1000,
+        cut_frac in 0.0f64..1.0,
+        sched_seed in 0u64..1_000_000,
+    ) {
+        let mut h = generate_history(&spec, IsolationLevel::Si);
+        inject(&mut h, what, spec.seed.wrapping_add(1));
+        let arrivals = session_respecting_shuffle(&h, shuffle_seed);
+        let cut = ((cut_frac * arrivals.len() as f64) as usize).min(arrivals.len());
+        let lp = LevelPolicy::Uniform(IsolationLevel::Si);
+        let plain = drive_sharded(lp.clone(), &h, &arrivals, shards, cut, None);
+
+        let mut ck = OnlineChecker::builder()
+            .kind(h.kind)
+            .levels(lp)
+            .shards(shards)
+            .build_sharded_sim(SimSchedule::pathological(sched_seed))
+            .expect("open sim session");
+        for (i, txn) in arrivals.iter().enumerate() {
+            if i == cut {
+                let snap = ck.checkpoint().expect("checkpoint under schedule");
+                let _ = ck.finish(); // the interrupted process dies here
+                ck = ShardedChecker::restore_resharded_sim(
+                    &snap,
+                    reshard,
+                    SimSchedule::random(sched_seed ^ 0x5A5A),
+                )
+                .expect("restore resharded under schedule");
+            }
+            let now = i as u64;
+            ck.tick(now);
+            ck.feed(txn.clone(), now);
+        }
+        ck.tick(u64::MAX);
+        let resumed = ck.finish();
+        assert_same_outcome(&plain, &resumed, "adversarial-schedule resume")?;
     }
 
     /// Any truncation of a live mid-stream checkpoint is a typed error,

@@ -18,7 +18,7 @@ use aion_online::{OnlineChecker, OnlineGcPolicy, ShardedChecker};
 use aion_types::snapshot::{
     get_snapshot_header, SnapshotError, SNAPSHOT_KIND_SHARDED, SNAPSHOT_KIND_SINGLE,
 };
-use aion_types::{CheckEvent, Checker, Outcome};
+use aion_types::{CheckEvent, Checker, Clock, Outcome, RealClock};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -156,17 +156,84 @@ pub struct Registry {
     mem_cache: Mutex<BTreeMap<String, usize>>,
     soft_limit_bytes: usize,
     hard_limit_bytes: usize,
+    /// Time source for idle tracking. Production uses [`RealClock`];
+    /// tests swap in [`aion_types::SimClock`] so eviction is driven by a
+    /// virtual clock instead of wall-clock sleeps.
+    clock: Arc<dyn Clock>,
+    /// Sessions idle longer than this (ms on `clock`) are reclaimed by
+    /// [`Registry::evict_idle`]. `None` disables eviction.
+    idle_evict_ms: Option<u64>,
+    /// Per-session last-activity stamp (ms on `clock`).
+    last_active: Mutex<BTreeMap<String, u64>>,
 }
 
 impl Registry {
-    /// A registry with the given soft/hard admission ceilings (bytes).
+    /// A registry with the given soft/hard admission ceilings (bytes),
+    /// a wall clock, and idle eviction disabled.
     pub fn new(soft_limit_bytes: usize, hard_limit_bytes: usize) -> Registry {
         Registry {
             sessions: Mutex::new(BTreeMap::new()),
             mem_cache: Mutex::new(BTreeMap::new()),
             soft_limit_bytes,
             hard_limit_bytes,
+            clock: Arc::new(RealClock::new()),
+            idle_evict_ms: None,
+            last_active: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Replace the registry's time source (builder-style). Used by the
+    /// deterministic simulation tests to drive idle eviction from a
+    /// [`aion_types::SimClock`].
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Registry {
+        self.clock = clock;
+        self
+    }
+
+    /// Enable idle-session eviction (builder-style): sessions untouched
+    /// for `ms` milliseconds become candidates for [`Registry::evict_idle`].
+    pub fn with_idle_eviction(mut self, ms: u64) -> Registry {
+        self.idle_evict_ms = Some(ms);
+        self
+    }
+
+    fn touch(&self, name: &str) {
+        self.last_active.lock().insert(name.to_owned(), self.clock.now_ms());
+    }
+
+    /// Drop sessions whose last activity is older than the configured
+    /// idle window, returning the evicted names (in name order). Busy
+    /// sessions (mutex held, e.g. mid-feed) are skipped — a feed in
+    /// flight IS activity, and it re-stamps the session when it
+    /// finishes. No-op when eviction is disabled.
+    pub fn evict_idle(&self) -> Vec<String> {
+        let Some(window) = self.idle_evict_ms else { return Vec::new() };
+        let now = self.clock.now_ms();
+        let stale: Vec<String> = self
+            .last_active
+            .lock()
+            .iter()
+            .filter(|(_, &at)| now.saturating_sub(at) >= window)
+            .map(|(name, _)| name.clone())
+            .collect();
+        let mut evicted = Vec::new();
+        for name in stale {
+            let Some(handle) = self.sessions.lock().get(&name).cloned() else {
+                self.last_active.lock().remove(&name);
+                continue;
+            };
+            // try_lock: never block eviction behind a live feed.
+            let Some(mut state) = handle.try_lock() else { continue };
+            // A finished-but-unremoved session has no checker to drop;
+            // either way the table entry goes away.
+            state.checker.take();
+            drop(state);
+            self.sessions.lock().remove(&name);
+            self.mem_cache.lock().remove(&name);
+            self.last_active.lock().remove(&name);
+            evicted.push(name);
+        }
+        evicted
     }
 
     /// Sum of cached per-session memory estimates.
@@ -210,6 +277,7 @@ impl Registry {
         );
         drop(sessions);
         self.cache_memory(name, mem);
+        self.touch(name);
         Ok(())
     }
 
@@ -232,6 +300,10 @@ impl Registry {
     ) -> Result<FeedSummary, ServeError> {
         let handle = self.handle(name)?;
         let mut state = handle.try_lock().ok_or_else(|| ServeError::Busy(name.to_owned()))?;
+        // A feed attempt is activity even when admission refuses it —
+        // a throttled-but-live client should not be evicted from under
+        // its retry loop.
+        self.touch(name);
         let mut summary = FeedSummary::default();
         let backpressure = |total: usize| ServeError::Backpressure {
             session: name.to_owned(),
@@ -305,6 +377,7 @@ impl Registry {
         drop(state);
         self.sessions.lock().remove(name);
         self.mem_cache.lock().remove(name);
+        self.last_active.lock().remove(name);
         Ok((outcome, txns))
     }
 
@@ -314,6 +387,7 @@ impl Registry {
     pub fn checkpoint(&self, name: &str, path: &str) -> Result<(&'static str, usize), ServeError> {
         let handle = self.handle(name)?;
         let mut state = handle.try_lock().ok_or_else(|| ServeError::Busy(name.to_owned()))?;
+        self.touch(name);
         let txns = state.txns;
         let data_kind = state.kind;
         let checker =

@@ -39,6 +39,10 @@ pub struct ServeConfig {
     /// Hard admission ceiling: feeds are refused with a typed
     /// `backpressure` error until memory drains.
     pub hard_limit_bytes: usize,
+    /// Evict sessions idle longer than this many milliseconds (checked
+    /// opportunistically as connections arrive). `None` disables idle
+    /// eviction.
+    pub idle_evict_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +52,7 @@ impl Default for ServeConfig {
             workers: 4,
             soft_limit_bytes: 64 << 20,
             hard_limit_bytes: 256 << 20,
+            idle_evict_ms: None,
         }
     }
 }
@@ -84,7 +89,11 @@ impl Server {
     /// [`run`](Server::run)/[`spawn`](Server::spawn).
     pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
-        let registry = Arc::new(Registry::new(cfg.soft_limit_bytes, cfg.hard_limit_bytes));
+        let mut registry = Registry::new(cfg.soft_limit_bytes, cfg.hard_limit_bytes);
+        if let Some(ms) = cfg.idle_evict_ms {
+            registry = registry.with_idle_eviction(ms);
+        }
+        let registry = Arc::new(registry);
         Ok(Server { listener, registry, cfg, shutdown: Arc::new(AtomicBool::new(false)) })
     }
 
@@ -124,6 +133,9 @@ impl Server {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
+            // Opportunistic idle-session reclaim: piggyback on incoming
+            // traffic so an otherwise-quiet daemon needs no timer thread.
+            self.registry.evict_idle();
             match stream {
                 Ok(s) => {
                     if tx.send(s).is_err() {

@@ -201,6 +201,209 @@ fn hard_backpressure_travels_the_wire() {
     stop(&addr, handle);
 }
 
+// ---------------------------------------------------------------------
+// Registry soak under a simulated clock (no TCP, no wall-clock sleeps).
+//
+// These drive the public `Registry` API directly with a SimClock so
+// idle eviction, backpressure transitions and virtual-arrival-clock
+// continuity are pure functions of the seed — the DST counterpart of
+// the socket tests above.
+// ---------------------------------------------------------------------
+
+mod sim_registry {
+    use aion_serve::{OpenParams, Registry, ServeError};
+    use aion_types::rng::SplitMix64;
+    use aion_types::{DataKind, History, Key, SimClock, TxnBuilder, Value};
+    use std::sync::Arc;
+
+    fn hist_bytes(n: u64, anomalous: bool) -> Vec<u8> {
+        let mut h = History::new(DataKind::Kv);
+        for i in 0..n {
+            h.push(
+                TxnBuilder::new(i + 1)
+                    .session(0, i as u32)
+                    .interval(2 * i + 1, 2 * i + 2)
+                    .put(Key(i % 8), Value(i))
+                    .build(),
+            );
+        }
+        if anomalous {
+            h.push(
+                TxnBuilder::new(n + 1)
+                    .session(1, 0)
+                    .interval(2 * n + 1, 2 * n + 2)
+                    .read(Key(0), Value(999_999))
+                    .build(),
+            );
+        }
+        let mut bytes = Vec::new();
+        aion_io::write_history(&h, aion_io::Format::Jsonl, &mut bytes).unwrap();
+        bytes
+    }
+
+    fn feed(
+        reg: &Registry,
+        name: &str,
+        bytes: &[u8],
+    ) -> Result<aion_serve::registry::FeedSummary, ServeError> {
+        let mut reader =
+            aion_io::open_stream(bytes, aion_io::Format::Jsonl, aion_io::ReaderOptions::default())
+                .unwrap();
+        reg.feed(name, reader.as_mut(), |_| Ok(()))
+    }
+
+    #[test]
+    fn idle_eviction_follows_the_simulated_clock_not_wall_time() {
+        let clock = SimClock::at(0);
+        let reg = Registry::new(usize::MAX, usize::MAX)
+            .with_clock(Arc::new(clock.clone()))
+            .with_idle_eviction(1_000);
+        reg.open("idle", &OpenParams::default()).unwrap();
+        reg.open("active", &OpenParams::default()).unwrap();
+
+        // Inside the window nothing is reclaimed.
+        clock.advance(600);
+        assert!(reg.evict_idle().is_empty());
+
+        // Feeding "active" re-stamps it; "idle" ages past the window.
+        feed(&reg, "active", &hist_bytes(4, false)).unwrap();
+        clock.advance(600);
+        assert_eq!(reg.evict_idle(), vec!["idle".to_owned()]);
+        assert!(matches!(reg.stats("idle"), Err(ServeError::UnknownSession(_))));
+        let (outcome, txns) = reg.finish("active").unwrap();
+        assert!(outcome.is_ok());
+        assert_eq!(txns, 4);
+    }
+
+    #[test]
+    fn hard_backpressure_recovers_after_idle_eviction() {
+        let clock = SimClock::at(0);
+        // Zero ceilings: every resident byte is over the line, exactly
+        // like the wire-level backpressure test above.
+        let reg = Registry::new(0, 0).with_clock(Arc::new(clock.clone())).with_idle_eviction(500);
+        reg.open("a", &OpenParams::default()).unwrap();
+        let s = feed(&reg, "a", &hist_bytes(4, false)).unwrap();
+        assert!(s.soft_pressure, "soft ceiling flags the first feed");
+
+        // With "a" resident, the hard ceiling refuses the next tenant…
+        reg.open("b", &OpenParams::default()).unwrap();
+        let err = feed(&reg, "b", &hist_bytes(4, false)).unwrap_err();
+        assert!(matches!(err, ServeError::Backpressure { .. }), "{err}");
+
+        // …until the idle window elapses on the virtual clock and
+        // eviction reclaims the memory.
+        clock.advance(1_000);
+        let evicted = reg.evict_idle();
+        assert_eq!(evicted, vec!["a".to_owned(), "b".to_owned()]);
+        assert_eq!(reg.total_memory_bytes(), 0);
+        reg.open("c", &OpenParams::default()).unwrap();
+        let s = feed(&reg, "c", &hist_bytes(4, false)).unwrap();
+        assert_eq!(s.txns, 4, "admission recovers once evicted state drains");
+    }
+
+    /// A 120-step seeded soak mixing opens, feeds, finishes, virtual
+    /// time advances (with eviction) and checkpoint/restore. The entire
+    /// observable trace must be a pure function of the seed, and every
+    /// restore must resume the session's virtual arrival clock.
+    fn soak(seed: u64, dir: &std::path::Path) -> Vec<String> {
+        let clock = SimClock::at(0);
+        let reg = Registry::new(16 << 10, 256 << 10)
+            .with_clock(Arc::new(clock.clone()))
+            .with_idle_eviction(1_000);
+        let mut rng = SplitMix64::new(seed);
+        let mut log = Vec::new();
+        let mut live: Vec<String> = Vec::new();
+        let mut next_id = 0u64;
+        for step in 0..120u32 {
+            match rng.below(6) {
+                0 => {
+                    let name = format!("s{next_id}");
+                    next_id += 1;
+                    let shards = if rng.chance(0.3) { Some(2) } else { None };
+                    reg.open(&name, &OpenParams { shards, ..OpenParams::default() }).unwrap();
+                    live.push(name.clone());
+                    log.push(format!("{step} open {name} shards={shards:?}"));
+                }
+                1 | 2 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let name = live[rng.below(live.len() as u64) as usize].clone();
+                    let n = 8 + rng.below(56);
+                    let bad = rng.chance(0.2);
+                    match feed(&reg, &name, &hist_bytes(n, bad)) {
+                        Ok(s) => log.push(format!(
+                            "{step} feed {name} txns={} viol={} soft={}",
+                            s.txns, s.violations, s.soft_pressure
+                        )),
+                        Err(e) => log.push(format!("{step} feed {name} err={}", e.category())),
+                    }
+                }
+                3 => {
+                    let ms = 200 + rng.below(900);
+                    clock.advance(ms);
+                    let evicted = reg.evict_idle();
+                    live.retain(|n| !evicted.contains(n));
+                    log.push(format!("{step} advance {ms} evicted={evicted:?}"));
+                }
+                4 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let name = live.swap_remove(rng.below(live.len() as u64) as usize);
+                    match reg.finish(&name) {
+                        Ok((o, txns)) => {
+                            log.push(format!("{step} finish {name} ok={} txns={txns}", o.is_ok()))
+                        }
+                        Err(e) => log.push(format!("{step} finish {name} err={}", e.category())),
+                    }
+                }
+                5 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let name = live[rng.below(live.len() as u64) as usize].clone();
+                    let path = dir.join(format!("{name}-{step}.ckpt"));
+                    let path = path.to_str().unwrap();
+                    reg.checkpoint(&name, path).unwrap();
+                    let before = reg.stats(&name).unwrap().txns;
+                    let copy = format!("{name}-r{step}");
+                    reg.restore(&copy, path, None).unwrap();
+                    let after = reg.stats(&copy).unwrap().txns;
+                    assert_eq!(before, after, "virtual arrival clock must survive restore");
+                    live.push(copy.clone());
+                    log.push(format!("{step} restore {name}->{copy} txns={after}"));
+                }
+                _ => unreachable!(),
+            }
+        }
+        // Drain every surviving session so sharded workers join.
+        for name in live {
+            let _ = reg.finish(&name);
+        }
+        log
+    }
+
+    #[test]
+    fn seeded_registry_soak_is_deterministic() {
+        let dir = super::scratch("simsoak");
+        for seed in [7u64, 20260808] {
+            let a = soak(seed, &dir);
+            let b = soak(seed, &dir);
+            assert_eq!(a, b, "seed {seed}: identical seeds must replay identical traces");
+            assert!(
+                a.iter().any(|l| l.contains("soft=true")),
+                "seed {seed}: soak never crossed the soft ceiling:\n{a:#?}"
+            );
+            assert!(
+                a.iter().any(|l| l.contains("evicted=[\"")),
+                "seed {seed}: soak never evicted an idle session:\n{a:#?}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 #[test]
 fn mixed_level_sessions_check_per_transaction_levels() {
     let (addr, handle) = start(ServeConfig::default());

@@ -91,6 +91,35 @@ pub enum CheckEvent {
         /// Transactions still resident after the pass.
         resident_after: usize,
     },
+    /// A spill-store IO operation failed. The checker degrades instead
+    /// of panicking: a failed write keeps the candidate transactions
+    /// resident (memory is not reclaimed this pass), a failed reload
+    /// skips the segment (naive re-checks see less history). Verdicts
+    /// already committed are unaffected.
+    SpillError {
+        /// Which spill-store operation failed.
+        op: SpillOp,
+        /// The underlying IO error, stringified.
+        detail: String,
+    },
+}
+
+/// The spill-store operation a [`CheckEvent::SpillError`] failed in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpillOp {
+    /// Appending a spill segment (GC pass writing finalized txns out).
+    Write,
+    /// Reloading a previously spilled segment.
+    Reload,
+}
+
+impl std::fmt::Display for SpillOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpillOp::Write => write!(f, "write"),
+            SpillOp::Reload => write!(f, "reload"),
+        }
+    }
 }
 
 impl CheckEvent {
@@ -115,6 +144,9 @@ impl std::fmt::Display for CheckEvent {
             }
             CheckEvent::SpillPass { spilled, bytes, resident_after } => {
                 write!(f, "gc: spilled {spilled} txns ({bytes} B), {resident_after} resident")
+            }
+            CheckEvent::SpillError { op, detail } => {
+                write!(f, "spill {op} failed: {detail}")
             }
         }
     }
@@ -183,6 +215,9 @@ pub struct CheckerStats {
     pub spill_bytes: u64,
     /// Re-evaluations of reads triggered by out-of-order arrivals.
     pub reevaluations: u64,
+    /// Spill-store IO operations that failed (each also emitted a
+    /// [`CheckEvent::SpillError`]).
+    pub spill_errors: u64,
 }
 
 impl CheckerStats {
@@ -204,6 +239,7 @@ impl CheckerStats {
         self.reloaded_txns += other.reloaded_txns;
         self.spill_bytes += other.spill_bytes;
         self.reevaluations += other.reevaluations;
+        self.spill_errors += other.spill_errors;
     }
 }
 

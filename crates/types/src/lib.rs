@@ -16,6 +16,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod check;
+pub mod clock;
 pub mod codec;
 pub mod fxhash;
 mod history;
@@ -29,7 +30,8 @@ mod violation;
 
 #[allow(deprecated)] // the alias itself is the compatibility surface
 pub use check::Mode;
-pub use check::{CheckEvent, Checker, CheckerStats, FlipSummary, Outcome, ShardConfig};
+pub use check::{CheckEvent, Checker, CheckerStats, FlipSummary, Outcome, ShardConfig, SpillOp};
+pub use clock::{Clock, RealClock, SimClock};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use history::{History, HistoryStats, IntegrityIssue};
 pub use ids::{EventKey, EventKind, Key, SessionId, Timestamp, TxnId, Value};

@@ -39,7 +39,10 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"AIONCKPT";
 
 /// Current checkpoint schema version (see the module docs for the
 /// versioning policy).
-pub const SNAPSHOT_VERSION: u8 = 1;
+///
+/// v2: [`CheckerStats`] gained `spill_errors`; [`CheckEvent`] gained a
+/// `SpillError` variant (codec tag 4).
+pub const SNAPSHOT_VERSION: u8 = 2;
 
 /// Payload-kind byte: the body is a single `OnlineChecker`.
 pub const SNAPSHOT_KIND_SINGLE: u8 = 0;
@@ -326,6 +329,14 @@ pub fn put_check_event(buf: &mut impl BufMut, e: &CheckEvent) {
             put_varint(buf, *bytes);
             put_varint(buf, *resident_after as u64);
         }
+        CheckEvent::SpillError { op, detail } => {
+            buf.put_u8(4);
+            buf.put_u8(match op {
+                crate::check::SpillOp::Write => 0,
+                crate::check::SpillOp::Reload => 1,
+            });
+            put_string(buf, detail);
+        }
         // `CheckEvent` is non_exhaustive upstream of us only in name: a
         // new variant added here must claim a tag before being written.
         #[allow(unreachable_patterns)]
@@ -354,6 +365,17 @@ pub fn get_check_event(buf: &mut impl Buf) -> Result<CheckEvent, CodecError> {
             bytes: get_varint(buf)?,
             resident_after: get_varint(buf)? as usize,
         }),
+        4 => {
+            if !buf.has_remaining() {
+                return Err(CodecError::UnexpectedEof);
+            }
+            let op = match buf.get_u8() {
+                0 => crate::check::SpillOp::Write,
+                1 => crate::check::SpillOp::Reload,
+                t => return Err(CodecError::BadTag(t)),
+            };
+            Ok(CheckEvent::SpillError { op, detail: get_string(buf)? })
+        }
         t => Err(CodecError::BadTag(t)),
     }
 }
@@ -387,6 +409,7 @@ pub fn put_stats(buf: &mut impl BufMut, s: &CheckerStats) {
     put_varint(buf, s.reloaded_txns as u64);
     put_varint(buf, s.spill_bytes);
     put_varint(buf, s.reevaluations);
+    put_varint(buf, s.spill_errors);
 }
 
 /// Decode [`CheckerStats`].
@@ -400,6 +423,7 @@ pub fn get_stats(buf: &mut impl Buf) -> Result<CheckerStats, CodecError> {
         reloaded_txns: get_varint(buf)? as usize,
         spill_bytes: get_varint(buf)?,
         reevaluations: get_varint(buf)?,
+        spill_errors: get_varint(buf)?,
     })
 }
 
@@ -464,6 +488,14 @@ mod tests {
             CheckEvent::VerdictFlip { tid: TxnId(1), key: Key(2), rectified_after_ms: None },
             CheckEvent::ExtFinalized { tid: TxnId(3), violations: 4 },
             CheckEvent::SpillPass { spilled: 5, bytes: 6, resident_after: 7 },
+            CheckEvent::SpillError {
+                op: crate::check::SpillOp::Write,
+                detail: "disk full".to_string(),
+            },
+            CheckEvent::SpillError {
+                op: crate::check::SpillOp::Reload,
+                detail: "unexpected eof".to_string(),
+            },
         ];
         for e in events {
             let mut buf = BytesMut::new();
@@ -505,12 +537,14 @@ mod tests {
             reloaded_txns: 6,
             spill_bytes: 7,
             reevaluations: 8,
+            spill_errors: 9,
         };
         let mut buf = BytesMut::new();
         put_stats(&mut buf, &s);
         let back = get_stats(&mut &buf[..]).unwrap();
         assert_eq!(back.received, 1);
         assert_eq!(back.reevaluations, 8);
+        assert_eq!(back.spill_errors, 9);
     }
 
     #[test]
