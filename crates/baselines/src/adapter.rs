@@ -24,7 +24,14 @@ fn level_of(level: IsolationLevel) -> Option<Level> {
     match level {
         IsolationLevel::Si => Some(Level::Si),
         IsolationLevel::Ser => Some(Level::Ser),
-        _ => None,
+        // The graph baselines implement SI/SER only; everything else —
+        // including any future lattice level — is explicitly unsupported
+        // rather than silently misrouted.
+        IsolationLevel::ReadCommitted | IsolationLevel::ReadAtomic => None,
+        unsupported => {
+            debug_assert!(false, "unclassified isolation level {unsupported:?}");
+            None
+        }
     }
 }
 
@@ -78,7 +85,10 @@ macro_rules! buffered_baseline {
                 match self.level {
                     IsolationLevel::Si => $si_name,
                     IsolationLevel::Ser => $ser_name,
-                    _ => $prefix,
+                    // Levels outside the baseline's model open fine and
+                    // finish `unsupported` (see `new`); they report
+                    // under the family prefix rather than panicking.
+                    _unsupported => $prefix,
                 }
             }
 

@@ -12,8 +12,9 @@
 
 use crate::encode::encode_ser_polygraph;
 use crate::solver::SolveOutcome;
+use aion_types::Stopwatch;
 use aion_types::{History, Key};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Cobra run configuration.
 #[derive(Clone, Copy, Debug)]
@@ -72,7 +73,7 @@ impl CobraReport {
 
 /// Run Cobra over a history in arrival order.
 pub fn run_cobra_online(history: &History, cfg: &CobraConfig) -> CobraReport {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut report = CobraReport { accepted: true, ..CobraReport::default() };
     let n = history.txns.len();
     let mut active: Vec<u32> = Vec::new();

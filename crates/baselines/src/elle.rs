@@ -16,8 +16,8 @@
 use crate::graph::DiGraph;
 use crate::infer::{infer_black_box_kv, infer_black_box_list, Dependencies};
 use crate::verdict::BaselineOutcome;
+use aion_types::Stopwatch;
 use aion_types::{DataKind, History};
-use std::time::Instant;
 
 /// The isolation level to check.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -28,7 +28,7 @@ pub enum Level {
     Ser,
 }
 
-fn check_deps(deps: &Dependencies, level: Level, started: Instant) -> BaselineOutcome {
+fn check_deps(deps: &Dependencies, level: Level, started: Stopwatch) -> BaselineOutcome {
     let mut anomalies = deps.anomalies.clone();
     let mut g = DiGraph::new(deps.n);
     for (u, v) in deps.d_edges() {
@@ -78,7 +78,7 @@ fn check_deps(deps: &Dependencies, level: Level, started: Instant) -> BaselineOu
 
 /// Check a history with the appropriate Elle variant (by data kind).
 pub fn check_elle(history: &History, level: Level) -> BaselineOutcome {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let deps = match history.kind {
         DataKind::Kv => infer_black_box_kv(history),
         DataKind::List => infer_black_box_list(history),
@@ -88,13 +88,13 @@ pub fn check_elle(history: &History, level: Level) -> BaselineOutcome {
 
 /// ElleKV explicitly (register histories).
 pub fn check_elle_kv(history: &History, level: Level) -> BaselineOutcome {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     check_deps(&infer_black_box_kv(history), level, start)
 }
 
 /// ElleList explicitly (list histories).
 pub fn check_elle_list(history: &History, level: Level) -> BaselineOutcome {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     check_deps(&infer_black_box_list(history), level, start)
 }
 

@@ -24,12 +24,12 @@
 use crate::graph::DiGraph;
 use crate::infer::infer_white_box;
 use crate::verdict::BaselineOutcome;
+use aion_types::Stopwatch;
 use aion_types::{EventKind, History};
-use std::time::Instant;
 
 /// Check snapshot isolation against the start-ordered serialization graph.
 pub fn check_emme_si(history: &History) -> BaselineOutcome {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let deps = infer_white_box(history);
     let n = history.txns.len();
     let b = |i: u32| 2 * i;
@@ -73,7 +73,7 @@ pub fn check_emme_si(history: &History) -> BaselineOutcome {
 /// Check serializability: every dependency must point forward in commit
 /// order, i.e. the DSG plus the commit-order chain is acyclic.
 pub fn check_emme_ser(history: &History) -> BaselineOutcome {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let deps = infer_white_box(history);
     let n = history.txns.len();
     let mut g = DiGraph::new(n);

@@ -9,7 +9,7 @@ use crate::encode::encode_si_bc;
 use crate::solver::SolveOutcome;
 use crate::verdict::BaselineOutcome;
 use aion_types::History;
-use std::time::Instant;
+use aion_types::Stopwatch;
 
 /// Default backtracking budget (steps) before reporting DNF.
 pub const DEFAULT_BUDGET: u64 = 2_000_000;
@@ -21,7 +21,7 @@ pub fn check_polysi(history: &History) -> BaselineOutcome {
 
 /// Check with an explicit search budget.
 pub fn check_polysi_budget(history: &History, budget: u64) -> BaselineOutcome {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let enc = encode_si_bc(history);
     let mut anomalies = enc.anomalies;
     // PolySI: aggressive pruning rounds, then search.

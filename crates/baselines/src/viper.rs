@@ -8,7 +8,7 @@ use crate::encode::encode_si_bc;
 use crate::solver::SolveOutcome;
 use crate::verdict::BaselineOutcome;
 use aion_types::History;
-use std::time::Instant;
+use aion_types::Stopwatch;
 
 /// Default backtracking budget (steps) before reporting DNF.
 pub const DEFAULT_BUDGET: u64 = 2_000_000;
@@ -20,7 +20,7 @@ pub fn check_viper(history: &History) -> BaselineOutcome {
 
 /// Check with an explicit search budget.
 pub fn check_viper_budget(history: &History, budget: u64) -> BaselineOutcome {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let enc = encode_si_bc(history);
     let mut anomalies = enc.anomalies;
     // Single pruning round only; the rest goes to search.

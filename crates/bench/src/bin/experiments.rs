@@ -8,10 +8,11 @@
 //! experiments serve [--addr A] [--workers N] [--soft-limit B] [--hard-limit B]
 //! experiments client <op> --addr HOST:PORT ...
 //! experiments dst [--seeds N] [--seed S] [--schedule random|pathological] [--fast] [--out FILE]
+//! experiments lint [--root DIR] [--fix-baseline]
 //! experiments list
 //! ```
 
-use aion_bench::experiments::{dst, interchange, run, serve, Ctx, ALL};
+use aion_bench::experiments::{dst, interchange, lint, run, serve, Ctx, ALL};
 
 #[global_allocator]
 static ALLOCATOR: aion_bench::alloc::CountingAllocator = aion_bench::alloc::CountingAllocator;
@@ -26,6 +27,8 @@ fn main() {
         Some("serve") => return serve::serve_cmd(&args[1..]),
         Some("client") => return serve::client_cmd(&args[1..]),
         Some("dst") => return dst::dst_cmd(&args[1..]),
+        Some("lint") => return lint::lint_cmd(&args[1..]),
+        Some("lint-ratchet") => return lint::ratchet_cmd(&args[1..]),
         _ => {}
     }
     let mut ctx = Ctx::default();
@@ -67,6 +70,10 @@ fn main() {
                 println!("  client <op>  (send one AIONSRV/1 request to a running daemon)");
                 println!(
                     "  dst     (deterministic simulation seed sweep; --seeds N --fast for CI)"
+                );
+                println!(
+                    "  lint    (workspace static analysis: seam/determinism/panic contracts; \
+                     --fix-baseline to regenerate the ratchet ledger)"
                 );
                 return;
             }

@@ -9,6 +9,7 @@ pub mod conformance;
 pub mod dst;
 pub mod flipflops;
 pub mod interchange;
+pub mod lint;
 pub mod offline;
 pub mod online;
 pub mod record;

@@ -122,7 +122,7 @@ pub fn bench_record(ctx: &Ctx) {
         let server =
             aion_serve::Server::bind(aion_serve::ServeConfig::default()).expect("bind daemon");
         let addr = server.local_addr().to_string();
-        let handle = server.spawn();
+        let handle = server.spawn().expect("spawn daemon");
         let mut best_tps = 0.0f64;
         let mut violations = 0usize;
         for run in 0..=RUNS {

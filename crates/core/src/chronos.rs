@@ -22,11 +22,11 @@
 use crate::event::build_events;
 use crate::gc::GcPolicy;
 use crate::report::{ChronosOutcome, StageTimings};
+use aion_types::Stopwatch;
 use aion_types::{
     apply, classify_mismatch, CheckReport, DataKind, FxHashMap, History, Key, MismatchAxiom,
     Mutation, Op, SessionId, Snapshot, Timestamp, Transaction, TxnId, Violation,
 };
-use std::time::Instant;
 
 /// Configuration for an offline checking run.
 ///
@@ -240,12 +240,12 @@ fn check_snapshot_consuming(
     let mut report = CheckReport::new();
 
     // --- sorting stage ---------------------------------------------------
-    let sort_start = Instant::now();
+    let sort_start = Stopwatch::start();
     let events = build_events(&history, &mut report);
     let sorting = sort_start.elapsed();
 
     // --- checking (+ gc) stage -------------------------------------------
-    let check_start = Instant::now();
+    let check_start = Stopwatch::start();
     let mut gc_time = std::time::Duration::ZERO;
     let kind = history.kind;
     let mut slots: Vec<Option<Transaction>> = history.txns.into_iter().map(Some).collect();
@@ -274,7 +274,7 @@ fn check_snapshot_consuming(
             if let GcPolicy::EveryN(n) = opts.gc {
                 if commits_since_gc >= n {
                     commits_since_gc = 0;
-                    let gc_start = Instant::now();
+                    let gc_start = Stopwatch::start();
                     sweep(&mut slots, &commit_done);
                     gc_time += gc_start.elapsed();
                 }

@@ -24,11 +24,11 @@
 
 use crate::gc::GcPolicy;
 use crate::report::{ChronosOutcome, StageTimings};
+use aion_types::Stopwatch;
 use aion_types::{
     apply, classify_mismatch, CheckReport, FxHashMap, History, Key, MismatchAxiom, Mutation, Op,
     SessionId, Snapshot, Timestamp, Transaction, TxnId, Violation,
 };
-use std::time::Instant;
 
 /// Configuration for the RC checker (same knobs as SI/SER).
 pub type ChronosRcOptions = super::chronos::ChronosOptions;
@@ -44,7 +44,7 @@ pub fn check_rc_consuming(history: History, opts: &ChronosRcOptions) -> ChronosO
 
     // --- sorting stage: commit order, plus the level-independent
     //     collection-integrity scan (duplicate ids/timestamps, Eq. 1) ----
-    let sort_start = Instant::now();
+    let sort_start = Stopwatch::start();
     let kind = history.kind;
     let mut order: Vec<u32> = (0..history.txns.len() as u32).collect();
     order.sort_unstable_by_key(|&i| {
@@ -78,7 +78,7 @@ pub fn check_rc_consuming(history: History, opts: &ChronosRcOptions) -> ChronosO
     let sorting = sort_start.elapsed();
 
     // --- checking stage ----------------------------------------------------
-    let check_start = Instant::now();
+    let check_start = Stopwatch::start();
     let mut gc_time = std::time::Duration::ZERO;
     let mut slots: Vec<Option<Transaction>> = history.txns.into_iter().map(Some).collect();
     // All committed snapshots per key, in commit order (the membership
@@ -101,7 +101,7 @@ pub fn check_rc_consuming(history: History, opts: &ChronosRcOptions) -> ChronosO
             GcPolicy::Fast => slots[idx] = None,
             GcPolicy::EveryN(n) if since_gc >= n => {
                 since_gc = 0;
-                let gc_start = Instant::now();
+                let gc_start = Stopwatch::start();
                 for &k in order.iter().take(done) {
                     slots[k as usize] = None;
                 }

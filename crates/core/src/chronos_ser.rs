@@ -13,11 +13,11 @@
 
 use crate::gc::GcPolicy;
 use crate::report::{ChronosOutcome, StageTimings};
+use aion_types::Stopwatch;
 use aion_types::{
     apply, classify_mismatch, CheckReport, FxHashMap, History, Key, MismatchAxiom, Mutation, Op,
     SessionId, Snapshot, Timestamp, Transaction, TxnId, Violation,
 };
-use std::time::Instant;
 
 /// Configuration for the SER checker (same knobs as SI).
 pub type ChronosSerOptions = super::chronos::ChronosOptions;
@@ -32,7 +32,7 @@ pub fn check_ser_consuming(history: History, opts: &ChronosSerOptions) -> Chrono
     let mut report = CheckReport::new();
 
     // --- sorting stage: commit order only ---------------------------------
-    let sort_start = Instant::now();
+    let sort_start = Stopwatch::start();
     let kind = history.kind;
     let mut order: Vec<u32> = (0..history.txns.len() as u32).collect();
     order.sort_unstable_by_key(|&i| {
@@ -74,7 +74,7 @@ pub fn check_ser_consuming(history: History, opts: &ChronosSerOptions) -> Chrono
     let sorting = sort_start.elapsed();
 
     // --- checking stage ----------------------------------------------------
-    let check_start = Instant::now();
+    let check_start = Stopwatch::start();
     let mut gc_time = std::time::Duration::ZERO;
     let mut slots: Vec<Option<Transaction>> = history.txns.into_iter().map(Some).collect();
     let mut frontier: FxHashMap<Key, Snapshot> = FxHashMap::default();
@@ -95,7 +95,7 @@ pub fn check_ser_consuming(history: History, opts: &ChronosSerOptions) -> Chrono
             GcPolicy::Fast => slots[idx] = None,
             GcPolicy::EveryN(n) if since_gc >= n => {
                 since_gc = 0;
-                let gc_start = Instant::now();
+                let gc_start = Stopwatch::start();
                 // Heap-scan model: drop the already-simulated prefix (in
                 // commit order); each sweep touches the full prefix, so
                 // frequent GC costs more in total, as in the paper.

@@ -1,0 +1,279 @@
+//! The grandfather baseline: `lint/baseline.toml`, a checked-in ledger
+//! of pre-existing findings that CI enforces as **shrink-only**.
+//!
+//! Entries are per `(rule, file)` *counts*, not per line: line numbers
+//! churn with every edit, counts only move when violations are added or
+//! removed. The ratchet semantics: a file may have at most its baselined
+//! number of findings per rule; anything above — including the first
+//! finding in a file with no entry — fails the lint. `--fix-baseline`
+//! rewrites the ledger to the current counts (CI separately proves, via
+//! `git diff`, that the committed ledger only ever shrinks).
+//!
+//! The format is a minimal TOML subset (`[[entry]]` tables with string
+//! and integer keys), parsed by hand in the house tokenizer style — the
+//! workspace vendors no TOML crate and needs none for this.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One grandfathered group: up to `count` findings of `rule` in `file`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// Maximum tolerated findings.
+    pub count: usize,
+}
+
+/// The parsed baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    /// `(rule, file) -> count`, sorted by construction.
+    pub entries: BTreeMap<(String, String), usize>,
+}
+
+/// A baseline parse error with its 1-based line.
+#[derive(Debug)]
+pub struct BaselineError {
+    /// 1-based line in baseline.toml.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "baseline.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+impl Baseline {
+    /// Parse the TOML subset: comments, blank lines, `[[entry]]`
+    /// headers, `key = "string"` and `key = integer` pairs.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let mut entries = BTreeMap::new();
+        let mut current: Option<(Option<String>, Option<String>, Option<usize>)> = None;
+        let mut flush = |cur: &mut Option<(Option<String>, Option<String>, Option<usize>)>,
+                         line: usize|
+         -> Result<(), BaselineError> {
+            if let Some((rule, file, count)) = cur.take() {
+                match (rule, file, count) {
+                    (Some(r), Some(f), Some(c)) => {
+                        entries.insert((r, f), c);
+                        Ok(())
+                    }
+                    _ => Err(BaselineError {
+                        line,
+                        msg: "[[entry]] missing one of rule/file/count".into(),
+                    }),
+                }
+            } else {
+                Ok(())
+            }
+        };
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[entry]]" {
+                flush(&mut current, line_no)?;
+                current = Some((None, None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(BaselineError {
+                    line: line_no,
+                    msg: format!("unparseable line `{line}`"),
+                });
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let Some(cur) = current.as_mut() else {
+                return Err(BaselineError {
+                    line: line_no,
+                    msg: format!("`{key}` outside any [[entry]]"),
+                });
+            };
+            match key {
+                "rule" | "file" => {
+                    let s = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')).ok_or_else(
+                        || BaselineError {
+                            line: line_no,
+                            msg: format!("`{key}` must be a double-quoted string"),
+                        },
+                    )?;
+                    if key == "rule" {
+                        cur.0 = Some(s.to_string());
+                    } else {
+                        cur.1 = Some(s.to_string());
+                    }
+                }
+                "count" => {
+                    cur.2 = Some(value.parse().map_err(|_| BaselineError {
+                        line: line_no,
+                        msg: format!("`count` must be a non-negative integer, got `{value}`"),
+                    })?);
+                }
+                other => {
+                    return Err(BaselineError {
+                        line: line_no,
+                        msg: format!("unknown key `{other}`"),
+                    })
+                }
+            }
+        }
+        flush(&mut current, text.lines().count())?;
+        Ok(Baseline { entries })
+    }
+
+    /// Serialize back to the canonical on-disk form (sorted, stable —
+    /// `--fix-baseline` twice is a no-op).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# aion-lint baseline — grandfathered findings, per (rule, file) count.\n\
+             # This ledger may only SHRINK: fix violations and run\n\
+             # `experiments lint --fix-baseline` to drop entries. CI rejects growth.\n",
+        );
+        for ((rule, file), count) in &self.entries {
+            let _ =
+                write!(out, "\n[[entry]]\nrule = \"{rule}\"\nfile = \"{file}\"\ncount = {count}\n");
+        }
+        out
+    }
+
+    /// Build the baseline that exactly grandfathers `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *entries.entry((f.rule.to_string(), f.file.clone())).or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Split `findings` into `(fresh, grandfathered)`: per `(rule, file)`
+    /// group, the first `count` findings (in line order — `findings` must
+    /// be sorted) are absorbed by the baseline, the excess is fresh.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
+        let mut budget: BTreeMap<(String, String), usize> = self.entries.clone();
+        let mut fresh = Vec::new();
+        let mut grandfathered = Vec::new();
+        for f in findings {
+            let key = (f.rule.to_string(), f.file.clone());
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    grandfathered.push(f);
+                }
+                _ => fresh.push(f),
+            }
+        }
+        (fresh, grandfathered)
+    }
+}
+
+/// The ratchet proper: every entry in `new` must already exist in `old`
+/// with at least the same count — the ledger may shrink, never grow.
+/// Returns human-readable violations; empty means `new` is a valid
+/// shrink of `old`.
+pub fn ratchet_violations(old: &Baseline, new: &Baseline) -> Vec<String> {
+    let mut out = Vec::new();
+    for ((rule, file), &count) in &new.entries {
+        match old.entries.get(&(rule.clone(), file.clone())) {
+            Some(&prev) if count <= prev => {}
+            Some(&prev) => {
+                out.push(format!("{rule} in {file}: baselined count grew {prev} -> {count}"))
+            }
+            None => out.push(format!("{rule} in {file}: new baseline entry (count {count})")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: u32) -> Finding {
+        Finding { rule, file: file.to_string(), line, msg: "m".into() }
+    }
+
+    #[test]
+    fn round_trips_canonically() {
+        let b = Baseline::from_findings(&[
+            finding("panic-freedom", "crates/online/src/checker.rs", 3),
+            finding("panic-freedom", "crates/online/src/checker.rs", 9),
+            finding("transport-seam", "crates/serve/src/server.rs", 1),
+        ]);
+        let text = b.render();
+        let again = Baseline::parse(&text).unwrap();
+        assert_eq!(again.entries, b.entries);
+        assert_eq!(again.render(), text, "render is a fixpoint");
+        assert_eq!(
+            again.entries[&("panic-freedom".into(), "crates/online/src/checker.rs".into())],
+            2
+        );
+    }
+
+    #[test]
+    fn ratchet_absorbs_up_to_count_and_no_more() {
+        let b = Baseline::parse(
+            "[[entry]]\nrule = \"panic-freedom\"\nfile = \"crates/online/src/a.rs\"\ncount = 2\n",
+        )
+        .unwrap();
+        let (fresh, old) = b.apply(vec![
+            finding("panic-freedom", "crates/online/src/a.rs", 1),
+            finding("panic-freedom", "crates/online/src/a.rs", 2),
+            finding("panic-freedom", "crates/online/src/a.rs", 3),
+            finding("clock-seam", "crates/online/src/a.rs", 4),
+        ]);
+        assert_eq!(old.len(), 2);
+        assert_eq!(fresh.len(), 2, "excess + unbaselined rule are fresh");
+    }
+
+    #[test]
+    fn ratchet_rejects_growth_and_new_entries_but_not_shrink() {
+        let old = Baseline::from_findings(&[
+            finding("panic-freedom", "crates/online/src/a.rs", 1),
+            finding("panic-freedom", "crates/online/src/a.rs", 2),
+            finding("transport-seam", "crates/serve/src/b.rs", 3),
+        ]);
+        // Shrink: drop an entry, lower a count — fine.
+        let shrunk =
+            Baseline::from_findings(&[finding("panic-freedom", "crates/online/src/a.rs", 1)]);
+        assert!(ratchet_violations(&old, &shrunk).is_empty());
+        // Growth: raise a count.
+        let grown = Baseline::from_findings(&[
+            finding("panic-freedom", "crates/online/src/a.rs", 1),
+            finding("panic-freedom", "crates/online/src/a.rs", 2),
+            finding("panic-freedom", "crates/online/src/a.rs", 3),
+        ]);
+        assert_eq!(ratchet_violations(&old, &grown).len(), 1);
+        // New entry in a fresh file.
+        let new_entry =
+            Baseline::from_findings(&[finding("clock-seam", "crates/core/src/c.rs", 1)]);
+        let v = ratchet_violations(&old, &new_entry);
+        assert!(v.len() == 1 && v[0].contains("new baseline entry"), "{v:?}");
+    }
+
+    #[test]
+    fn parse_errors_are_typed_with_lines() {
+        for (src, needle) in [
+            ("rule = \"x\"\n", "outside any"),
+            ("[[entry]]\nrule = x\n", "double-quoted"),
+            ("[[entry]]\nrule = \"r\"\nfile = \"f\"\ncount = nope\n", "integer"),
+            (
+                "[[entry]]\nrule = \"r\"\n\n[[entry]]\nrule = \"r\"\nfile = \"f\"\ncount = 1\n",
+                "missing",
+            ),
+            ("[[entry]]\nwhat = 3\n", "unknown key"),
+            ("garbage\n", "unparseable"),
+        ] {
+            let err = Baseline::parse(src).unwrap_err();
+            assert!(err.to_string().contains(needle), "{src:?} -> {err}");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Standalone lint driver: `aion-lint [--root DIR] [--fix-baseline]`.
+//!
+//! Exit codes: 0 clean (modulo baseline), 1 fresh findings, 2 usage or
+//! I/O/baseline error. The same pass is available as `experiments lint`.
+
+use aion_lint::{find_workspace_root, fix_baseline, lint_workspace, BASELINE_PATH};
+use std::path::PathBuf;
+
+fn main() {
+    let mut root: Option<PathBuf> = None;
+    let mut fix = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => die("--root needs a directory"),
+            },
+            "--fix-baseline" => fix = true,
+            "--help" | "-h" => {
+                println!("usage: aion-lint [--root DIR] [--fix-baseline]");
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    let root = root
+        .or_else(|| std::env::current_dir().ok().and_then(|cwd| find_workspace_root(&cwd)))
+        .unwrap_or_else(|| die("no workspace root found (pass --root)"));
+
+    if fix {
+        match fix_baseline(&root) {
+            Ok(n) => println!("aion-lint: baseline rewritten with {n} grandfathered finding(s) -> {BASELINE_PATH}"),
+            Err(e) => die(&format!("aion-lint: {e}")),
+        }
+        return;
+    }
+    match lint_workspace(&root) {
+        Ok(report) => {
+            for f in &report.fresh {
+                println!("{f}");
+            }
+            println!(
+                "aion-lint: {} file(s), {} finding(s) ({} grandfathered by {BASELINE_PATH}, {} fresh)",
+                report.files,
+                report.fresh.len() + report.grandfathered.len(),
+                report.grandfathered.len(),
+                report.fresh.len()
+            );
+            if !report.is_clean() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => die(&format!("aion-lint: {e}")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}

@@ -1,0 +1,398 @@
+//! A hand-rolled Rust lexer, in the house style of the `aion-io` JSON and
+//! EDN pull tokenizers: no `syn`, no regex, one forward pass.
+//!
+//! The lexer is deliberately *lossless about comments* (suppression
+//! directives live in them) and *panic-free on arbitrary input* — lint
+//! runs on whatever bytes are on disk, including files mid-edit, so every
+//! "unterminated X" case degrades to a token that ends at EOF instead of
+//! an error path. A proptest in `tests/lexer_proptests.rs` byte-mutates
+//! real source to hold the lexer to that contract.
+//!
+//! Token classification is exactly as deep as the lint rules need:
+//! identifiers (keywords are identifiers here), punctuation (one token
+//! per character — rules match multi-character operators like `::` and
+//! `=>` as adjacent punct tokens), string/char/number literals (opaque),
+//! lifetimes (distinguished from char literals), and comments.
+
+/// What a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`match`, `for`, `HashMap`, ...).
+    Ident,
+    /// `'a` in generics/references (NOT a char literal).
+    Lifetime,
+    /// Integer or float literal, suffixes included.
+    Number,
+    /// String literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"` and friends.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// `// …` to end of line (doc comments included).
+    LineComment,
+    /// `/* … */`, nested, possibly unterminated at EOF.
+    BlockComment,
+    /// Any other single character (`{`, `:`, `#`, `[`, ...).
+    Punct,
+}
+
+/// One token: a classified byte range of the source plus its 1-based line.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Lex `src` completely. Never fails: unknown bytes become `Punct`
+/// tokens and unterminated literals/comments run to EOF.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            let kind = match b {
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) => self.ident_or_prefixed_literal(),
+                _ => {
+                    // Multi-byte UTF-8 (e.g. the em dash in suppression
+                    // reasons) advances past the whole character so the
+                    // next token starts on a char boundary.
+                    self.pos += utf8_len(b);
+                    TokKind::Punct
+                }
+            };
+            let end = self.pos.min(self.bytes.len());
+            self.out.push(Tok { kind, start, end, line });
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn line_comment(&mut self) -> TokKind {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        TokKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        self.pos += 2; // over `/*`
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                if self.bytes[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    /// A `"…"` string with `\` escapes; unterminated runs to EOF.
+    fn string(&mut self) -> TokKind {
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2.min(self.bytes.len() - self.pos),
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        TokKind::Str
+    }
+
+    /// A raw string starting at the current `r`/`b`/`c` prefix position:
+    /// `r##"…"##` with any number of `#`s (including zero).
+    fn raw_string(&mut self) -> TokKind {
+        // Skip the prefix letters (r, br, cr, ...), then count `#`s.
+        while self.pos < self.bytes.len()
+            && self.bytes[self.pos] != b'#'
+            && self.bytes[self.pos] != b'"'
+        {
+            self.pos += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) != Some(b'"') {
+            // `r#foo` raw identifier, not a raw string: rewind is not
+            // needed — the `#`s were consumed, the ident continues next
+            // iteration. Classify what we ate as punct-ish ident.
+            return TokKind::Ident;
+        }
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let mut n = 0usize;
+                while n < hashes && self.bytes.get(self.pos + 1 + n) == Some(&b'#') {
+                    n += 1;
+                }
+                if n == hashes {
+                    self.pos += 1 + hashes;
+                    return TokKind::Str;
+                }
+            }
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+        TokKind::Str // unterminated
+    }
+
+    /// `'a` lifetime vs `'x'` / `'\n'` char literal.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        self.pos += 1; // opening quote
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escape: definitely a char literal; scan to closing quote.
+                self.pos += 1;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    if self.bytes[self.pos] == b'\n' {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 1).min(self.bytes.len());
+                TokKind::Char
+            }
+            Some(c) if is_ident_start(c) => {
+                // Could be `'a'` (char) or `'a` (lifetime): look past the
+                // identifier run for a closing quote.
+                let mut end = self.pos;
+                while end < self.bytes.len() && is_ident_continue(self.bytes[end]) {
+                    end += 1;
+                }
+                if self.bytes.get(end) == Some(&b'\'') && end == self.pos + utf8_len(c) {
+                    self.pos = end + 1;
+                    TokKind::Char
+                } else {
+                    self.pos = end;
+                    TokKind::Lifetime
+                }
+            }
+            Some(c) => {
+                // `'+'` and other single-char literals (or a stray quote).
+                self.pos += utf8_len(c);
+                if self.peek(0) == Some(b'\'') {
+                    self.pos += 1;
+                }
+                TokKind::Char
+            }
+            None => TokKind::Char,
+        }
+    }
+
+    fn number(&mut self) -> TokKind {
+        while self.pos < self.bytes.len()
+            && (is_ident_continue(self.bytes[self.pos]) || self.bytes[self.pos] == b'.')
+        {
+            // Stop before `..` so range expressions stay punctuation.
+            if self.bytes[self.pos] == b'.' && self.peek(1) == Some(b'.') {
+                break;
+            }
+            self.pos += 1;
+        }
+        TokKind::Number
+    }
+
+    fn ident_or_prefixed_literal(&mut self) -> TokKind {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        let text = &self.src.as_bytes()[start..self.pos];
+        // String-literal prefixes: `b"…"`, `r"…"`, `br#"…"#`, `c"…"`, ...
+        match self.peek(0) {
+            Some(b'"') if matches!(text, b"b" | b"c") => {
+                self.pos += 1;
+                // Cooked string with escapes, same as string().
+                while self.pos < self.bytes.len() {
+                    match self.bytes[self.pos] {
+                        b'\\' => self.pos += 2.min(self.bytes.len() - self.pos),
+                        b'"' => {
+                            self.pos += 1;
+                            return TokKind::Str;
+                        }
+                        b'\n' => {
+                            self.line += 1;
+                            self.pos += 1;
+                        }
+                        _ => self.pos += 1,
+                    }
+                }
+                TokKind::Str
+            }
+            Some(b'"') | Some(b'#') if matches!(text, b"r" | b"br" | b"cr" | b"rb") => {
+                if self.peek(0) == Some(b'#') && !raw_string_follows(self.bytes, self.pos) {
+                    return TokKind::Ident; // `r#ident` raw identifier
+                }
+                self.raw_string()
+            }
+            Some(b'\'') if text == b"b" => {
+                // Byte-char literal b'x'. Reuse the char scanner.
+                self.char_or_lifetime()
+            }
+            _ => TokKind::Ident,
+        }
+    }
+}
+
+/// After a literal prefix, does `#...#"` actually open a raw string (as
+/// opposed to `r#ident`)?
+fn raw_string_follows(bytes: &[u8], mut pos: usize) -> bool {
+    while bytes.get(pos) == Some(&b'#') {
+        pos += 1;
+    }
+    bytes.get(pos) == Some(&b'"')
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_paths() {
+        let ks = kinds("thread::spawn(x)");
+        let texts: Vec<&str> = ks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["thread", ":", ":", "spawn", "(", "x", ")"]);
+        assert_eq!(ks[0].0, TokKind::Ident);
+        assert_eq!(ks[1].0, TokKind::Punct);
+    }
+
+    #[test]
+    fn comments_are_kept_with_lines() {
+        let src = "a\n// aion-lint: allow(x) — y\nb /* multi\nline */ c";
+        let toks = lex(src);
+        let comment = toks.iter().find(|t| t.kind == TokKind::LineComment).unwrap();
+        assert_eq!(comment.line, 2);
+        assert!(comment.text(src).contains("allow(x)"));
+        let block = toks.iter().find(|t| t.kind == TokKind::BlockComment).unwrap();
+        assert_eq!(block.line, 3);
+        let c = toks.iter().find(|t| t.text(src) == "c").unwrap();
+        assert_eq!(c.line, 4);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 2);
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn raw_and_prefixed_strings_are_opaque() {
+        for src in [
+            r##"let s = r#"Instant::now() inside"#;"##,
+            r#"let s = "Instant::now()";"#,
+            r#"let b = b"HashMap";"#,
+            "let r = r\"unwrap()\";",
+        ] {
+            let ks = kinds(src);
+            assert!(
+                !ks.iter().any(|(k, t)| *k == TokKind::Ident
+                    && (t == "Instant" || t == "HashMap" || t == "unwrap")),
+                "literal leaked idents in {src}: {ks:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_eat_the_file() {
+        let ks = kinds("let r#match = 1; let after = 2;");
+        assert!(ks.iter().any(|(_, t)| t == "after"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ks = kinds("/* a /* b */ c */ x");
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::BlockComment).count(), 1);
+        assert!(ks.iter().any(|(_, t)| t == "x"));
+    }
+
+    #[test]
+    fn unterminated_everything_reaches_eof() {
+        for src in ["\"abc", "/* abc", "r#\"abc", "'", "b\"x"] {
+            let toks = lex(src);
+            assert!(toks.iter().all(|t| t.end <= src.len()), "{src}");
+        }
+    }
+}

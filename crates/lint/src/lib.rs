@@ -1,0 +1,191 @@
+//! `aion-lint`: workspace static analysis enforcing the seam,
+//! determinism, and panic-freedom contracts.
+//!
+//! The DST harness (`aion-dst`) promises "every run is a pure function
+//! of one u64 seed", and the serve daemon promises to survive malformed
+//! input. Both promises rest on repo-wide conventions — time behind the
+//! [`Clock`](aion_types::clock) seam, delivery behind `ShardTransport`,
+//! no hash-order dependence in verdict paths, no panics in daemon code,
+//! no silent `_ =>` over the isolation lattice. This crate makes the
+//! machine check them: a hand-rolled Rust [`lexer`], five [`rules`], a
+//! justified-suppression syntax, and a shrink-only [`baseline`] ratchet.
+//!
+//! Run it as `experiments lint [--fix-baseline]`, the standalone
+//! `aion-lint` binary, or the `workspace_is_clean_modulo_baseline`
+//! self-test. See `docs/lint.md` for the rule catalog.
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+use baseline::{Baseline, BaselineError};
+use rules::{Finding, NameTable};
+use std::path::{Path, PathBuf};
+
+/// Where the baseline ledger lives, relative to the workspace root.
+pub const BASELINE_PATH: &str = "lint/baseline.toml";
+
+/// Everything one lint run produced.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings NOT absorbed by the baseline — these fail the run.
+    pub fresh: Vec<Finding>,
+    /// Findings absorbed by the baseline ratchet.
+    pub grandfathered: Vec<Finding>,
+    /// Files scanned.
+    pub files: usize,
+}
+
+impl LintReport {
+    /// True when the workspace is clean modulo the baseline.
+    pub fn is_clean(&self) -> bool {
+        self.fresh.is_empty()
+    }
+}
+
+/// A lint-run failure (I/O or a corrupt baseline) — distinct from
+/// findings, which are a *result*.
+#[derive(Debug)]
+pub enum LintError {
+    /// Reading a source file or the baseline failed.
+    Io(PathBuf, std::io::Error),
+    /// The baseline file exists but does not parse.
+    Baseline(BaselineError),
+    /// No `crates/` directory under the given root.
+    NotAWorkspace(PathBuf),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            LintError::Baseline(e) => write!(f, "{e}"),
+            LintError::NotAWorkspace(p) => {
+                write!(f, "{} has no crates/ directory (not the workspace root?)", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Find the workspace root: walk up from `start` to the first directory
+/// containing both `Cargo.toml` and `crates/`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Every `.rs` file under `crates/*/src`, workspace-relative with `/`
+/// separators, sorted (the walk order is part of the deterministic
+/// output contract).
+pub fn workspace_sources(root: &Path) -> Result<Vec<String>, LintError> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(LintError::NotAWorkspace(root.to_path_buf()));
+    }
+    let mut files = Vec::new();
+    let crates =
+        std::fs::read_dir(&crates_dir).map_err(|e| LintError::Io(crates_dir.clone(), e))?;
+    for entry in crates.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut files)?;
+        }
+    }
+    let mut rel: Vec<String> = files
+        .iter()
+        .filter_map(|p| p.strip_prefix(root).ok())
+        .map(|p| p.to_string_lossy().replace('\\', "/"))
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            walk_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the workspace at `root` against its checked-in baseline (a
+/// missing baseline file means an empty baseline). Two passes: collect
+/// hash-typed names everywhere, then run the rules per file.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
+    let files = workspace_sources(root)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for rel in &files {
+        let path = root.join(rel);
+        let text = std::fs::read_to_string(&path).map_err(|e| LintError::Io(path.clone(), e))?;
+        sources.push((rel.clone(), text));
+    }
+    let mut table = NameTable::default();
+    for (rel, text) in &sources {
+        rules::collect_names(rel, text, &mut table);
+    }
+    let mut findings = Vec::new();
+    for (rel, text) in &sources {
+        findings.extend(rules::lint_file(rel, text, &table));
+    }
+    findings.sort();
+
+    let baseline_file = root.join(BASELINE_PATH);
+    let baseline = if baseline_file.is_file() {
+        let text = std::fs::read_to_string(&baseline_file)
+            .map_err(|e| LintError::Io(baseline_file.clone(), e))?;
+        Baseline::parse(&text).map_err(LintError::Baseline)?
+    } else {
+        Baseline::default()
+    };
+    let (fresh, grandfathered) = baseline.apply(findings);
+    Ok(LintReport { fresh, grandfathered, files: sources.len() })
+}
+
+/// Re-lint and rewrite `lint/baseline.toml` to exactly the current
+/// findings (the `--fix-baseline` path). Returns the new entry total.
+pub fn fix_baseline(root: &Path) -> Result<usize, LintError> {
+    let report = {
+        // Lint against an EMPTY baseline: the ledger is regenerated from
+        // the full finding set, not the residue of the old one.
+        let files = workspace_sources(root)?;
+        let mut sources = Vec::with_capacity(files.len());
+        for rel in &files {
+            let path = root.join(rel);
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| LintError::Io(path.clone(), e))?;
+            sources.push((rel.clone(), text));
+        }
+        let mut table = NameTable::default();
+        for (rel, text) in &sources {
+            rules::collect_names(rel, text, &mut table);
+        }
+        let mut findings = Vec::new();
+        for (rel, text) in &sources {
+            findings.extend(rules::lint_file(rel, text, &table));
+        }
+        findings.sort();
+        findings
+    };
+    let baseline = Baseline::from_findings(&report);
+    let path = root.join(BASELINE_PATH);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+    }
+    std::fs::write(&path, baseline.render()).map_err(|e| LintError::Io(path.clone(), e))?;
+    Ok(report.len())
+}

@@ -1,0 +1,7 @@
+//@ path: crates/online/src/fixture.rs
+use std::time::Instant;
+
+pub fn measure_ms() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_millis()
+}

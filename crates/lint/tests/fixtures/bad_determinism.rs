@@ -1,0 +1,12 @@
+//@ path: crates/online/src/fixture.rs
+use aion_types::FxHashMap;
+use std::collections::HashMap;
+
+pub fn leak_order(sink: &mut Vec<u32>) {
+    let shadow: HashMap<u32, u32> = HashMap::new();
+    drop(shadow);
+    let m: FxHashMap<u32, u32> = FxHashMap::default();
+    for k in m.keys() {
+        sink.push(*k);
+    }
+}

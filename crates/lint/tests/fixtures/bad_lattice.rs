@@ -1,0 +1,10 @@
+//@ path: crates/core/src/fixture.rs
+use aion_types::IsolationLevel;
+
+pub fn label(level: IsolationLevel) -> &'static str {
+    match level {
+        IsolationLevel::Si => "si",
+        IsolationLevel::Ser => "ser",
+        _ => "other",
+    }
+}

@@ -1,0 +1,8 @@
+//@ path: crates/serve/src/fixture.rs
+pub fn first_doubled(v: &[u32]) -> u32 {
+    let first = v.first().unwrap();
+    if *first > 100 {
+        panic!("too big");
+    }
+    v[0] * 2
+}

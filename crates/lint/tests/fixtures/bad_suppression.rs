@@ -1,0 +1,8 @@
+//@ path: crates/online/src/fixture.rs
+// aion-lint: allow(clock-seam)
+use std::time::Instant;
+
+// aion-lint: allow(no-such-rule) — the rule id is made up
+pub fn f() -> Instant {
+    Instant::now()
+}

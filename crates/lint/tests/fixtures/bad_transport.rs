@@ -1,0 +1,9 @@
+//@ path: crates/serve/src/fixture.rs
+use crossbeam::channel;
+
+pub fn fan_out() {
+    let (tx, rx) = channel::unbounded::<u32>();
+    let h = std::thread::spawn(move || rx.recv());
+    tx.send(1).ok();
+    let _ = h.join();
+}

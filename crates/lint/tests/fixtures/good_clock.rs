@@ -1,0 +1,7 @@
+//@ path: crates/online/src/fixture.rs
+use aion_types::Stopwatch;
+
+pub fn measure_ms() -> u64 {
+    let sw = Stopwatch::start();
+    sw.elapsed_ms()
+}

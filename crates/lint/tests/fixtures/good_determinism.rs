@@ -1,0 +1,11 @@
+//@ path: crates/online/src/fixture.rs
+use aion_types::FxHashMap;
+
+pub fn sorted_order(sink: &mut Vec<u32>) {
+    let m: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    for k in keys {
+        sink.push(k);
+    }
+}

@@ -1,0 +1,12 @@
+//@ path: crates/core/src/fixture.rs
+use aion_types::IsolationLevel;
+
+pub fn label(level: IsolationLevel) -> &'static str {
+    match level {
+        IsolationLevel::ReadCommitted => "rc",
+        IsolationLevel::ReadAtomic => "ra",
+        IsolationLevel::Si => "si",
+        IsolationLevel::Ser => "ser",
+        other => unreachable!("no label for {other:?}"),
+    }
+}

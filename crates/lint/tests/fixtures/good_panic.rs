@@ -1,0 +1,14 @@
+//@ path: crates/serve/src/fixture.rs
+pub fn first_doubled(v: &[u32]) -> Option<u32> {
+    let first = v.first()?;
+    Some(*first * 2)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = [1u32];
+        assert_eq!(super::first_doubled(&v).unwrap(), v[0] * 2);
+    }
+}

@@ -1,0 +1,9 @@
+//@ path: crates/online/src/fixture.rs
+// aion-lint: allow(clock-seam) — fixture: a justified standalone
+// suppression covers the next code line
+use std::time::Instant;
+
+pub fn f() -> u128 {
+    let start = Instant::now(); // aion-lint: allow(clock-seam) — trailing form covers its own line
+    start.elapsed().as_millis()
+}

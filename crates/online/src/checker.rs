@@ -707,6 +707,8 @@ impl OnlineChecker {
     /// indexes (no spill-store or buffer overhead).
     fn state_bytes_estimate(&self) -> usize {
         let mut bytes = 0usize;
+        // aion-lint: allow(determinism) — commutative sum; visit order
+        // cannot affect the estimate
         for t in self.txns.values() {
             bytes += 128 + t.txn.ops.len() * 48 + t.reads.len() * 96 + t.write_set.len() * 56;
         }
@@ -1127,6 +1129,8 @@ impl OnlineChecker {
         // (unfinalized) transaction may be spilled — its verdicts can still
         // change (paper: asynchrony may prevent recycling anything).
         let mut safe_horizon = EventKey::INFINITY;
+        // aion-lint: allow(determinism) — commutative min-fold; visit
+        // order cannot affect the horizon
         for t in self.txns.values() {
             if !t.finalized {
                 safe_horizon = safe_horizon.min(t.anchor());
@@ -1184,6 +1188,8 @@ impl OnlineChecker {
         // Prune versioned state below the oldest event any retained
         // transaction can still anchor a query at.
         let mut prune_horizon = safe_horizon;
+        // aion-lint: allow(determinism) — commutative min-fold; visit
+        // order cannot affect the horizon
         for t in self.txns.values() {
             prune_horizon = prune_horizon.min(t.anchor());
         }

@@ -7,12 +7,13 @@
 //! order (AION's input assumption). [`run_plan`] then drives a checker
 //! through the plan, measuring wall-clock throughput per second (Fig. 12).
 
+use aion_types::Stopwatch;
 use aion_types::{
     CheckEvent, Checker, FxHashMap, History, Key, NormalSampler, Outcome, SessionId, SplitMix64,
     Transaction,
 };
 use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Arrival-plan configuration.
 #[derive(Clone, Copy, Debug)]
@@ -80,7 +81,6 @@ fn enforce_session_order(arrivals: Vec<Arrival>) -> Vec<Arrival> {
             out.push((at, txn));
             // Release any directly following held-back transactions.
             if let Some(waiting) = held.get_mut(&sid) {
-                let expected = next_sno.get_mut(&sid).expect("just inserted");
                 while let Some(entry) = waiting.remove(expected) {
                     *expected += 1;
                     out.push((at.max(entry.0), entry.1));
@@ -90,8 +90,12 @@ fn enforce_session_order(arrivals: Vec<Arrival>) -> Vec<Arrival> {
             held.entry(sid).or_default().insert(txn.sno, (at, txn));
         }
     }
-    // Anything still held had a gap in the input; emit in sno order.
-    for (_, waiting) in held {
+    // Anything still held had a gap in the input; emit in sno order,
+    // sessions in sid order. (This used to drain `held` directly, which
+    // leaked FxHashMap insertion-history order into the arrival plan.)
+    let mut leftovers: Vec<(SessionId, BTreeMap<u32, Arrival>)> = held.into_iter().collect();
+    leftovers.sort_unstable_by_key(|(sid, _)| *sid);
+    for (_, waiting) in leftovers {
         for (_, arr) in waiting {
             out.push(arr);
         }
@@ -227,7 +231,7 @@ impl OnlineRunReport {
 /// timeline too (stamped with the last arrival time) instead of being
 /// visible only in the terminal report.
 pub fn run_plan<C: Checker>(mut checker: C, plan: &[Arrival]) -> OnlineRunReport {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut throughput: Vec<u32> = Vec::new();
     let mut timeline: Vec<TimedEvent> = Vec::new();
     for (at, txn) in plan {
@@ -237,7 +241,9 @@ pub fn run_plan<C: Checker>(mut checker: C, plan: &[Arrival]) -> OnlineRunReport
         if throughput.len() <= sec {
             throughput.resize(sec + 1, 0);
         }
-        throughput[sec] += 1;
+        if let Some(slot) = throughput.get_mut(sec) {
+            *slot += 1;
+        }
     }
     let end = plan.last().map(|(at, _)| *at).unwrap_or(0);
     timeline.extend(checker.tick(u64::MAX).into_iter().map(|e| (end, e)));

@@ -806,6 +806,8 @@ fn resplit_workers(
         for (key, event, writers) in w.ongoing.map.iter() {
             ongoing.push((key, event, writers.clone()));
         }
+        // aion-lint: allow(determinism) — gather order is normalized by
+        // the (key, event) sort before re-partitioning below
         for (key, chain) in w.writers.keys.iter() {
             for (event, items) in chain {
                 writer_entries.push((*key, *event, items.clone()));
@@ -816,6 +818,8 @@ fn resplit_workers(
         let t = std::mem::take(&mut w.flips);
         flips.detail |= t.detail;
         flips.total_flips += t.total_flips;
+        // aion-lint: allow(determinism) — commutative += merge into a
+        // map; the visit order cannot affect the merged counts
         for (pair, n) in t.flips_per_pair {
             *flips.flips_per_pair.entry(pair).or_insert(0) += n;
         }
@@ -846,6 +850,13 @@ fn resplit_workers(
     }
 
     // -- re-partition ------------------------------------------------------
+    // Normalize the gather order (the per-shard maps were drained in
+    // storage order) so the rebuilt shards' insertion histories are a
+    // pure function of the logical state, not of the old shard layout.
+    frontier.sort_unstable_by_key(|(k, e, _)| (*k, *e));
+    ongoing.sort_unstable_by_key(|(k, e, _)| (*k, *e));
+    writer_entries.sort_unstable_by_key(|(k, e, _)| (*k, *e));
+
     let mut workers = Vec::with_capacity(new_shards);
     for m in 0..new_shards {
         let mut w = OnlineChecker::try_new(worker_config(base_cfg, m, new_shards)).map_err(

@@ -142,7 +142,7 @@ pub(crate) fn put_config(buf: &mut impl BufMut, cfg: &AionConfig) {
         // `LevelPolicy` is non_exhaustive; a variant this codec does not
         // know cannot be checkpointed faithfully, and silently degrading
         // it would break the restore byte-identity guarantee.
-        other => unimplemented!("checkpoint codec does not know LevelPolicy {other:?}"),
+        other => unreachable!("checkpoint codec does not know LevelPolicy {other:?}"),
     }
     put_varint(buf, cfg.ext_timeout_ms);
     match cfg.gc {

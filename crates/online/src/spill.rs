@@ -55,7 +55,16 @@ impl SpillFaultPlan {
     }
 
     fn trip(&self, p: f64, what: &str) -> Option<std::io::Error> {
-        if p > 0.0 && self.rng.lock().unwrap().chance(p) {
+        if p <= 0.0 {
+            return None;
+        }
+        // A poisoned lock only means another thread panicked mid-roll;
+        // the RNG state itself is still usable.
+        let fired = match self.rng.lock() {
+            Ok(mut rng) => rng.chance(p),
+            Err(poisoned) => poisoned.into_inner().chance(p),
+        };
+        if fired {
             self.fired.fetch_add(1, Ordering::SeqCst);
             Some(std::io::Error::other(format!("injected spill {what} fault")))
         } else {

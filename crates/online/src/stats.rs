@@ -56,6 +56,8 @@ impl FlipTracker {
     /// Summarize into histogram form.
     pub fn summary(&self) -> FlipSummary {
         let mut flip_histogram = [0usize; 4];
+        // aion-lint: allow(determinism) — order-insensitive histogram
+        // fold; each value lands in its bucket regardless of visit order
         for &n in self.flips_per_pair.values() {
             let bucket = (n as usize).min(4) - 1;
             flip_histogram[bucket] += 1;

@@ -28,7 +28,7 @@
 //!
 //! let server = Server::bind(ServeConfig::default()).unwrap();
 //! let addr = server.local_addr().to_string();
-//! let handle = server.spawn();
+//! let handle = server.spawn().unwrap();
 //! client::open(&addr, "tenant-a", &client::OpenOptions::default()).unwrap();
 //! // ... stream histories with client::feed_bytes / feed_path ...
 //! client::shutdown(&addr).unwrap();

@@ -419,13 +419,15 @@ impl Registry {
         shards: Option<usize>,
     ) -> Result<&'static str, ServeError> {
         let raw = std::fs::read(path)?;
-        if raw.len() < 9 {
-            return Err(ServeError::Snapshot(SnapshotError::Corrupt(
+        let truncated = || {
+            ServeError::Snapshot(SnapshotError::Corrupt(
                 "session snapshot shorter than its resume header".into(),
-            )));
-        }
-        let txns = u64::from_le_bytes(raw[..8].try_into().expect("length checked"));
-        let kind = match raw[8] {
+            ))
+        };
+        let txns_raw: &[u8; 8] =
+            raw.get(..8).and_then(|h| h.try_into().ok()).ok_or_else(truncated)?;
+        let txns = u64::from_le_bytes(*txns_raw);
+        let kind = match raw.get(8).copied().ok_or_else(truncated)? {
             0 => aion_types::DataKind::Kv,
             1 => aion_types::DataKind::List,
             other => {
@@ -434,10 +436,10 @@ impl Registry {
                 ))))
             }
         };
-        let bytes = &raw[9..];
+        let bytes = raw.get(9..).ok_or_else(truncated)?;
         // Dispatch on the envelope's kind byte without consuming it —
         // the restore constructors re-validate the full header.
-        let snap_kind = get_snapshot_header(&mut &bytes[..])?;
+        let snap_kind = get_snapshot_header(&mut { bytes })?;
         let checker = match snap_kind {
             SNAPSHOT_KIND_SINGLE => {
                 if shards.is_some() {

@@ -18,7 +18,7 @@ fn scratch(tag: &str) -> PathBuf {
 fn start(cfg: ServeConfig) -> (String, aion_serve::ServerHandle) {
     let server = Server::bind(cfg).unwrap();
     let addr = server.local_addr().to_string();
-    (addr, server.spawn())
+    (addr, server.spawn().unwrap())
 }
 
 fn stop(addr: &str, handle: aion_serve::ServerHandle) {

@@ -14,7 +14,11 @@
 
 use aion_types::codec;
 use aion_types::{DataKind, History, Transaction};
+// aion-lint: allow(transport-seam) — the recorder's lock-free capture
+// queue carries workload-side commits, not checker delivery; replay
+// through the checkers goes via the ShardTransport seam
 use crossbeam::channel::{unbounded, Receiver, Sender};
+// aion-lint: allow(transport-seam) — same capture path as above
 use crossbeam::queue::SegQueue;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -110,6 +110,8 @@ impl History {
         for (i, t) in self.txns.iter().enumerate() {
             map.entry(t.sid).or_default().push(i);
         }
+        // aion-lint: allow(determinism) — each group is sorted in place
+        // independently; the visit order cannot escape
         for idxs in map.values_mut() {
             idxs.sort_by_key(|&i| self.txns[i].sno);
         }

@@ -31,7 +31,7 @@ mod violation;
 #[allow(deprecated)] // the alias itself is the compatibility surface
 pub use check::Mode;
 pub use check::{CheckEvent, Checker, CheckerStats, FlipSummary, Outcome, ShardConfig, SpillOp};
-pub use clock::{Clock, RealClock, SimClock};
+pub use clock::{Clock, RealClock, SimClock, Stopwatch};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use history::{History, HistoryStats, IntegrityIssue};
 pub use ids::{EventKey, EventKind, Key, SessionId, Timestamp, TxnId, Value};

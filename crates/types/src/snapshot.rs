@@ -340,7 +340,7 @@ pub fn put_check_event(buf: &mut impl BufMut, e: &CheckEvent) {
         // `CheckEvent` is non_exhaustive upstream of us only in name: a
         // new variant added here must claim a tag before being written.
         #[allow(unreachable_patterns)]
-        _ => unreachable!("unserializable CheckEvent variant"),
+        other => unreachable!("unserializable CheckEvent variant {other:?}"),
     }
 }
 

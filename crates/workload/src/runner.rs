@@ -17,9 +17,10 @@ use crate::templates::{OpTemplate, TxnTemplate};
 use aion_storage::{
     CentralOracle, CommitError, FaultPlan, MvccStore, Recorder, Store, StoreTxn, TwoPlStore,
 };
+use aion_types::Stopwatch;
 use aion_types::{DataKind, History, SessionId, SplitMix64, Transaction, Value};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Give up on a template after this many aborted attempts.
 const MAX_ATTEMPTS: usize = 25;
@@ -82,7 +83,7 @@ pub fn run_interleaved_with_recorder<S: Store>(
 ) -> RunReport {
     assert!(sessions > 0, "need at least one session");
     let kind = store.kind();
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut rng = SplitMix64::new(seed ^ 0x5eed);
     let mut value_counter: u64 = 1;
 
@@ -187,7 +188,7 @@ pub fn run_threaded<S: Store + Clone>(
 ) -> RunReport {
     assert!(sessions > 0, "need at least one session");
     let kind = store.kind();
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let committed = AtomicUsize::new(0);
     let aborted = AtomicUsize::new(0);
     let skipped = AtomicUsize::new(0);
