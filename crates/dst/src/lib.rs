@@ -118,6 +118,10 @@ pub struct SeedReport {
     pub checkpoint_cut: Option<usize>,
     /// Worker count the cut restored onto (`None` = same count).
     pub resharded: Option<usize>,
+    /// Arrivals per `feed_batch` call when the scenario drove the
+    /// sharded checker through the batched ingest path (`None` = one
+    /// `feed` per arrival).
+    pub feed_batch_chunk: Option<usize>,
     /// Spill write faults injected into the sharded run (0 = the
     /// scenario had no spill-fault sub-plan).
     pub spill_faults_fired: u64,
@@ -181,6 +185,7 @@ struct Scenario {
     injected: usize,
     checkpoint_cut: Option<usize>,
     resharded: Option<usize>,
+    feed_batch_chunk: Option<usize>,
 }
 
 const ANOMALIES: &[Anomaly] = &[
@@ -250,6 +255,11 @@ fn build_scenario(seed: u64, opts: &DstOptions) -> Scenario {
             _ => None,
         },
         checkpoint_cut,
+        // Half the seeds drive the sharded checker through the batched
+        // ingest path (`feed_batch`, one channel message per shard per
+        // chunk) so the differential also covers batched delivery under
+        // adversarial schedules.
+        feed_batch_chunk: rng.chance(0.5).then(|| 2 + rng.below(14) as usize),
         plan,
     }
 }
@@ -352,6 +362,36 @@ fn err_str(e: impl std::fmt::Display) -> String {
     e.to_string()
 }
 
+/// Drive `plan` into a sharded checker, per arrival (`chunk == None`)
+/// or through [`Checker::feed_batch`] in chunks. Batched chunks tick
+/// once at the chunk's first arrival time — workers self-tick before
+/// each part at that part's own virtual time, so verdicts must not
+/// care — and hand each arrival its own timestamp.
+fn drive(
+    sh: &mut ShardedChecker,
+    plan: &[Arrival],
+    chunk: Option<usize>,
+    mut on_events: impl FnMut(u64, Vec<CheckEvent>),
+) {
+    match chunk {
+        None => {
+            for (at, txn) in plan {
+                on_events(*at, sh.tick(*at));
+                on_events(*at, sh.feed(txn.clone(), *at));
+            }
+        }
+        Some(n) => {
+            for chunk in plan.chunks(n.max(1)) {
+                let first = chunk[0].0;
+                let last = chunk[chunk.len() - 1].0;
+                on_events(first, sh.tick(first));
+                let batch: Vec<_> = chunk.iter().map(|(at, txn)| (txn.clone(), *at)).collect();
+                on_events(last, sh.feed_batch(batch));
+            }
+        }
+    }
+}
+
 fn run_scenario(seed: u64, opts: &DstOptions) -> Result<SeedReport, String> {
     let sc = build_scenario(seed, opts);
 
@@ -385,10 +425,9 @@ fn run_scenario(seed: u64, opts: &DstOptions) -> Result<SeedReport, String> {
             // checker) so the transport counters survive to the report.
             let mut sh = sharded;
             let mut timeline = Vec::new();
-            for (at, txn) in &sc.plan {
-                timeline.extend(sh.tick(*at).into_iter().map(|e| (*at, e)));
-                timeline.extend(sh.feed(txn.clone(), *at).into_iter().map(|e| (*at, e)));
-            }
+            drive(&mut sh, &sc.plan, sc.feed_batch_chunk, |at, evs| {
+                timeline.extend(evs.into_iter().map(|e| (at, e)));
+            });
             let end = sc.plan.last().map(|(at, _)| *at).unwrap_or(0);
             timeline.extend(sh.tick(u64::MAX).into_iter().map(|e| (end, e)));
             let sim = sh.sim_stats();
@@ -396,10 +435,7 @@ fn run_scenario(seed: u64, opts: &DstOptions) -> Result<SeedReport, String> {
         }
         Some(cut) => {
             let mut first = sharded;
-            for (at, txn) in &sc.plan[..cut] {
-                first.tick(*at);
-                first.feed(txn.clone(), *at);
-            }
+            drive(&mut first, &sc.plan[..cut], sc.feed_batch_chunk, |_, _| {});
             let bytes = first.checkpoint().map_err(err_str)?;
             // The interrupted process dies here; its outcome is discarded.
             let _ = first.finish();
@@ -409,10 +445,7 @@ fn run_scenario(seed: u64, opts: &DstOptions) -> Result<SeedReport, String> {
                     .map_err(err_str)?,
                 None => ShardedChecker::restore_sim(&bytes, resume_sched).map_err(err_str)?,
             };
-            for (at, txn) in &sc.plan[cut..] {
-                resumed.tick(*at);
-                resumed.feed(txn.clone(), *at);
-            }
+            drive(&mut resumed, &sc.plan[cut..], sc.feed_batch_chunk, |_, _| {});
             resumed.tick(u64::MAX);
             let sim = resumed.sim_stats();
             (Checker::finish(resumed), sim, None)
@@ -475,6 +508,7 @@ fn run_scenario(seed: u64, opts: &DstOptions) -> Result<SeedReport, String> {
         violations: single_report.outcome.report.violations.len(),
         checkpoint_cut: sc.checkpoint_cut,
         resharded: sc.resharded,
+        feed_batch_chunk: sc.feed_batch_chunk,
         spill_faults_fired,
         sim: sim.unwrap_or_default(),
     })
@@ -561,6 +595,8 @@ mod tests {
         assert!(reports.iter().any(|r| r.spill_faults_fired > 0), "no spill-fault scenarios");
         assert!(reports.iter().any(|r| r.violations > 0), "no violating scenarios");
         assert!(reports.iter().any(|r| r.injected > 0), "no injected anomalies");
+        assert!(reports.iter().any(|r| r.feed_batch_chunk.is_some()), "no batched-feed scenarios");
+        assert!(reports.iter().any(|r| r.feed_batch_chunk.is_none()), "no per-arrival scenarios");
         assert!(
             reports.iter().map(|r| r.sim.dropped_ticks).sum::<u64>() > 0
                 || reports.iter().all(|r| r.checkpoint_cut.is_some()),

@@ -4,7 +4,7 @@
 //! The DST harness (`aion-dst`) promises "every run is a pure function
 //! of one u64 seed", and the serve daemon promises to survive malformed
 //! input. Both promises rest on repo-wide conventions — time behind the
-//! [`Clock`](aion_types::clock) seam, delivery behind `ShardTransport`,
+//! `aion_types::clock::Clock` seam, delivery behind `ShardTransport`,
 //! no hash-order dependence in verdict paths, no panics in daemon code,
 //! no silent `_ =>` over the isolation lattice. This crate makes the
 //! machine check them: a hand-rolled Rust [`lexer`], five [`rules`], a

@@ -76,7 +76,7 @@ pub fn collect_names(path: &str, src: &str, table: &mut NameTable) {
     let Some(krate) = crate_of(path).filter(|c| DETERMINISM_CRATES.contains(c)) else {
         return;
     };
-    let toks: Vec<Tok> = lex(src).into_iter().filter(|t| is_code(t)).collect();
+    let toks: Vec<Tok> = lex(src).into_iter().filter(is_code).collect();
     for w in toks.windows(3) {
         let (a, b, c) = (&w[0], &w[1], &w[2]);
         if a.kind != TokKind::Ident || c.kind != TokKind::Ident {
@@ -517,7 +517,7 @@ fn iterated_hash_name(src: &str, expr: &[Tok], krate: &str, table: &NameTable) -
 /// malformed input. (`unreachable!` stays legal: it is the sanctioned
 /// loud catch-all for non_exhaustive matches.)
 fn panic_freedom(path: &str, src: &str, code: &[Tok], out: &mut Vec<Finding>) {
-    if crate_of(path).map_or(true, |c| !PANIC_FREE_CRATES.contains(&c)) || is_test_file(path) {
+    if crate_of(path).is_none_or(|c| !PANIC_FREE_CRATES.contains(&c)) || is_test_file(path) {
         return;
     }
     let mut push = |line: u32, msg: String| {
@@ -544,7 +544,7 @@ fn panic_freedom(path: &str, src: &str, code: &[Tok], out: &mut Vec<Finding>) {
                 // Indexing (prev token ends an expression) as opposed to
                 // array literals, attributes, macro brackets, types.
                 let prev = i.checked_sub(1).and_then(|p| code.get(p));
-                let is_index = prev.map_or(false, |p| {
+                let is_index = prev.is_some_and(|p| {
                     p.kind == TokKind::Ident && !is_keyword_before_bracket(p.text(src))
                         || p.text(src) == ")"
                         || p.text(src) == "]"
@@ -595,7 +595,7 @@ fn is_keyword_before_bracket(t: &str) -> bool {
 /// default. The sanctioned catch-all for these `#[non_exhaustive]` enums
 /// is a *named* binding with an explicit loud body (see docs/lint.md).
 fn lattice_exhaustiveness(path: &str, src: &str, code: &[Tok], out: &mut Vec<Finding>) {
-    if crate_of(path).map_or(true, |c| !LATTICE_CRATES.contains(&c)) || is_test_file(path) {
+    if crate_of(path).is_none_or(|c| !LATTICE_CRATES.contains(&c)) || is_test_file(path) {
         return;
     }
     let mut i = 0;

@@ -32,6 +32,7 @@
 //! tentatively-wrong RC read, never invalidate a right one).
 
 use crate::index::{KeyEventIndex, OngoingIndex, ReadRef};
+use crate::membership::MembershipIndex;
 use crate::spill::{SpillEntry, SpillStore};
 use crate::stats::{AionStats, FlipTracker};
 use aion_types::{
@@ -500,6 +501,12 @@ pub struct OnlineChecker {
     pub(crate) txns: FxHashMap<TxnId, OnlineTxn>,
     pub(crate) globals: GlobalChecks,
     pub(crate) frontier: VersionedMap<Snapshot>,
+    /// Committed-membership summaries for the RC EXT predicate; only
+    /// populated when `has_committed_ext`, and — unlike the frontier —
+    /// never pruned by GC, which is what lets the frontier shed its
+    /// version chains under RC/mixed policies (see
+    /// [`MembershipIndex`]).
+    pub(crate) membership: MembershipIndex,
     pub(crate) readers: KeyEventIndex<ReadRef>,
     pub(crate) writers: KeyEventIndex<TxnId>,
     pub(crate) ongoing: OngoingIndex,
@@ -509,6 +516,17 @@ pub struct OnlineChecker {
     /// Largest commit timestamp ever spilled; arrivals at or below it must
     /// reload first.
     pub(crate) gc_horizon_ts: Option<Timestamp>,
+    /// Everything spilled at or below this timestamp is known resident:
+    /// `reload_below` passes bounded by it are no-ops. Advanced after a
+    /// fully successful reload pass, pulled back when a spill pass
+    /// re-evicts below it; never advanced past a failed segment, so
+    /// failures stay retryable.
+    pub(crate) reload_floor: Timestamp,
+    /// Diagnostic: how many `reload_below` passes actually scanned the
+    /// segment list (i.e. were not short-circuited by `reload_floor`).
+    /// Not persisted; the watermark regression test pins that this stops
+    /// growing on repeated straggler passes.
+    pub(crate) reload_scans: u64,
     pub(crate) now_ms: u64,
     pub(crate) report: CheckReport,
     pub(crate) flips: FlipTracker,
@@ -550,6 +568,7 @@ impl OnlineChecker {
             txns: FxHashMap::default(),
             globals: GlobalChecks::default(),
             frontier: VersionedMap::new(),
+            membership: MembershipIndex::new(),
             readers: KeyEventIndex::new(),
             writers: KeyEventIndex::new(),
             ongoing: OngoingIndex::new(),
@@ -557,6 +576,8 @@ impl OnlineChecker {
             triggers: VecDeque::new(),
             spill,
             gc_horizon_ts: None,
+            reload_floor: Timestamp::MIN,
+            reload_scans: 0,
             now_ms: 0,
             report: CheckReport::new(),
             flips,
@@ -657,7 +678,12 @@ impl OnlineChecker {
                     // Base-independent: every base folds the same.
                     return false;
                 }
-                self.frontier.iter_before(key, anchor).any(|v| v == observed)
+                // Incremental committed-membership index: answers "some
+                // committed version of `key` below `anchor` equals the
+                // observation" in O(log n) instead of walking the key's
+                // version chain — and keeps answering after GC pruned
+                // the chain, since summaries survive `prune_below`.
+                self.membership.contains_before(key, anchor, observed)
             }
         }
     }
@@ -713,6 +739,7 @@ impl OnlineChecker {
             bytes += 128 + t.txn.ops.len() * 48 + t.reads.len() * 96 + t.write_set.len() * 56;
         }
         bytes += self.frontier.len() * 72;
+        bytes += self.membership.approx_bytes();
         bytes += self.ongoing.len() * 64;
         bytes += self.readers.len() * 40 + self.writers.len() * 40;
         bytes
@@ -887,6 +914,15 @@ impl OnlineChecker {
             }
             if self.read_ok(checks.ext, r.key, anchor, &r.muts_before, &r.observed) {
                 r.ok = true;
+                // A committed-predicate `ok` is final when versions are
+                // never withdrawn (the membership set only grows), so the
+                // read settles now instead of riding the reader index —
+                // and the timeout queue — until its deadline.
+                if checks.ext == ExtPredicate::Committed
+                    && self.committed_ok_is_final(&r.muts_before)
+                {
+                    r.settled = true;
+                }
             } else {
                 let base = self.frontier_at(r.key, anchor);
                 let expected = expected_read(&base, &r.muts_before);
@@ -923,7 +959,10 @@ impl OnlineChecker {
 
         // -- step ③: publish versions and re-check affected readers ---------
         for (key, snap) in &write_set {
-            self.frontier.insert(*key, commit_ev, snap.clone());
+            let prev = self.frontier.insert(*key, commit_ev, snap.clone());
+            if self.has_committed_ext {
+                self.membership.record(*key, commit_ev, snap, prev.as_ref());
+            }
         }
         for (key, _) in &write_set {
             self.triggers.push_back((*key, commit_ev));
@@ -1013,6 +1052,16 @@ impl OnlineChecker {
         }
     }
 
+    /// True when a committed-predicate read that currently holds `ok`
+    /// can never lose it: outside [`DataKind::List`] no published
+    /// version is ever withdrawn (only list cascades revise), so the
+    /// committed-membership set for a first read only grows, and a
+    /// base-dependent read-over-writes falls back to the (mutable)
+    /// frontier only for lists. Such a verdict is safe to settle early.
+    fn committed_ok_is_final(&self, muts: &[Mutation]) -> bool {
+        self.cfg.kind != DataKind::List && (muts.is_empty() || base_independent(muts))
+    }
+
     fn re_evaluate(&mut self, rref: ReadRef, key: Key, anchor_ev: EventKey, committed_only: bool) {
         let Some(t) = self.txns.get(&rref.tid) else { return };
         if t.finalized {
@@ -1029,6 +1078,9 @@ impl OnlineChecker {
         let new_ok = self.read_ok(ext, key, anchor_ev, &r.muts_before, &r.observed);
         self.stats.reevaluations += 1;
         if new_ok != r.ok {
+            let now_final = new_ok
+                && ext == ExtPredicate::Committed
+                && self.committed_ok_is_final(&r.muts_before);
             let rectified =
                 if new_ok { r.wrong_since.map(|w| self.now_ms.saturating_sub(w)) } else { None };
             self.flips.record_flip(rref.tid, key, rectified);
@@ -1041,6 +1093,11 @@ impl OnlineChecker {
             let r = &mut t.reads[rref.read_idx as usize];
             r.ok = new_ok;
             r.wrong_since = if new_ok { None } else { Some(self.now_ms) };
+            // A justified committed read is settled for good — later
+            // publishes to this key can stop re-evaluating it.
+            if now_final {
+                r.settled = true;
+            }
         }
     }
 
@@ -1074,7 +1131,13 @@ impl OnlineChecker {
         if let Some(entry) = t.write_set.iter_mut().find(|(k, _)| *k == key) {
             entry.1 = new_snap.clone();
         }
-        self.frontier.insert(key, commit_ev, new_snap);
+        let prev = self.frontier.insert(key, commit_ev, new_snap.clone());
+        if self.has_committed_ext {
+            // The cascade *revised* this published version: the old value
+            // was never a committed observation, so the membership entry
+            // moves with it.
+            self.membership.record(key, commit_ev, &new_snap, prev.as_ref().or(current.as_ref()));
+        }
         self.triggers.push_back((key, commit_ev));
     }
 
@@ -1151,6 +1214,7 @@ impl OnlineChecker {
         }
         let spilled: Vec<TxnId> = candidates[..spill_count].iter().map(|&(_, t)| t).collect();
         let mut max_spilled_cts = Timestamp::MIN;
+        let mut min_spilled_cts = Timestamp::MAX;
         // Encode from borrowed state and only evict on success: a failed
         // write keeps every candidate resident (memory is simply not
         // reclaimed this pass) and surfaces as a typed event, never a
@@ -1160,6 +1224,7 @@ impl OnlineChecker {
             .map(|tid| {
                 let t = self.txns.get(tid).expect("candidate is resident");
                 max_spilled_cts = max_spilled_cts.max(t.txn.commit_ts);
+                min_spilled_cts = min_spilled_cts.min(t.txn.commit_ts);
                 SpillEntry { txn: t.txn.clone(), write_set: t.write_set.clone() }
             })
             .collect();
@@ -1184,6 +1249,11 @@ impl OnlineChecker {
         self.emit_event(|| CheckEvent::SpillPass { spilled, bytes: bytes as u64, resident_after });
         self.gc_horizon_ts =
             Some(self.gc_horizon_ts.map_or(max_spilled_cts, |h| h.max(max_spilled_cts)));
+        // A reloaded-then-re-spilled transaction can land below the
+        // reload floor; pull the floor back so a later straggler pass
+        // fetches it again.
+        self.reload_floor =
+            self.reload_floor.min(Timestamp(min_spilled_cts.get().saturating_sub(1)));
 
         // Prune versioned state below the oldest event any retained
         // transaction can still anchor a query at.
@@ -1195,18 +1265,22 @@ impl OnlineChecker {
         }
         // The frontier-exact levels only ever query the latest version
         // below an anchor, which `prune_below` keeps per key. RC's
-        // membership predicate has no such base: *any* committed
-        // version below the anchor can justify a read, so when the
-        // policy can produce committed-predicate readers the whole
-        // version chain must stay resident — the same
-        // `O(total versions)` price CHRONOS-RC documents. Transactions
-        // still spill; only the per-key snapshots are retained.
-        if !self.has_committed_ext {
-            self.frontier.prune_below(prune_horizon);
-        }
+        // membership predicate has no such base — *any* committed
+        // version below the anchor can justify a read — but that
+        // question is answered by the committed-membership summaries,
+        // which survive this prune, so the frontier sheds its chains
+        // under RC/mixed policies too.
+        self.frontier.prune_below(prune_horizon);
         self.ongoing.prune_below(prune_horizon);
         self.readers.prune_below(prune_horizon);
         self.writers.prune_below(prune_horizon);
+        // The summaries survive the prune, but shed the events that can
+        // no longer change any membership answer (everything behind a
+        // frozen per-value minimum), so they stay bounded by the live
+        // window plus one entry per distinct (key, value) pair.
+        if self.has_committed_ext {
+            self.membership.compact_below(prune_horizon);
+        }
     }
 
     /// Reload every spilled segment that could matter for an arrival whose
@@ -1214,7 +1288,12 @@ impl OnlineChecker {
     /// need the latest version committed long before its anchor, so all
     /// segments up to `hi` are brought back.
     pub(crate) fn reload_below(&mut self, hi: Timestamp) {
+        if hi <= self.reload_floor {
+            return; // everything at or below `hi` is already resident
+        }
+        self.reload_scans += 1;
         let ids = self.spill.segments_overlapping(Timestamp::MIN, hi);
+        let mut all_loaded = true;
         for id in ids {
             // A segment that fails to reload is skipped for this pass —
             // typed degradation (re-checks against it see less history)
@@ -1224,6 +1303,7 @@ impl OnlineChecker {
                 Ok(entries) => entries,
                 Err(e) => {
                     self.stats.spill_errors += 1;
+                    all_loaded = false;
                     self.emit_event(|| CheckEvent::SpillError {
                         op: aion_types::SpillOp::Reload,
                         detail: e.to_string(),
@@ -1242,7 +1322,12 @@ impl OnlineChecker {
                     // Re-inserting is safe: reloaded versions are at or
                     // below the retained per-key base, so no live reader's
                     // visible version changes (see DESIGN.md).
-                    self.frontier.insert(*key, commit_ev, snap.clone());
+                    let prev = self.frontier.insert(*key, commit_ev, snap.clone());
+                    if self.has_committed_ext {
+                        // Idempotent: the summary already carries this
+                        // version from when it was first published.
+                        self.membership.record(*key, commit_ev, snap, prev.as_ref());
+                    }
                 }
                 // The policy resolves deterministically, so the reloaded
                 // transaction gets exactly the level it was checked at
@@ -1268,6 +1353,12 @@ impl OnlineChecker {
                     },
                 );
             }
+        }
+        if all_loaded {
+            // Every overlapping segment is now resident: later passes
+            // bounded by `hi` have nothing to do. A failed segment keeps
+            // the floor down so it is retried.
+            self.reload_floor = self.reload_floor.max(hi);
         }
     }
 }
@@ -1369,6 +1460,92 @@ mod tests {
         a.receive(t(1000, 1, 0, 900, 901).read(Key(1), Value(1)).build(), 5000);
         let out = a.finish();
         assert!(out.is_ok(), "stale committed read is RC-legal: {}", out.report);
+    }
+
+    /// Regression: deleting the `has_committed_ext` GC latch must leave
+    /// RC streams with *bounded* resident memory. Pre-fix, the latch
+    /// exempted the frontier from pruning whenever committed-predicate
+    /// readers were possible, so a long RC stream grew without bound;
+    /// now the frontier prunes and the compacted membership summaries
+    /// answer the stale-read question.
+    #[test]
+    fn rc_long_stream_memory_stays_bounded_under_gc() {
+        let dir = std::env::temp_dir().join(format!("aion-rc-bounded-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut a = OnlineChecker::builder()
+            .level(IsolationLevel::ReadCommitted)
+            .ext_timeout_ms(10)
+            .gc(OnlineGcPolicy::Checking { max_txns: 32 })
+            .spill_path(dir.join("spill.bin"))
+            .build()
+            .unwrap();
+        let run = |a: &mut OnlineChecker, from: u64, to: u64| {
+            for i in from..to {
+                // A bounded (key, value) working set: the summary's
+                // steady state is what the stream revisits, not its
+                // length.
+                let txn = t(i + 1, 0, i as u32, i * 10 + 1, i * 10 + 5)
+                    .put(Key(i % 4), Value(i % 8))
+                    .build();
+                a.receive(txn, i * 100);
+                a.tick(i * 100);
+            }
+        };
+        run(&mut a, 0, 1_000);
+        let mid = a.estimated_memory_bytes();
+        run(&mut a, 1_000, 5_000);
+        let end = a.estimated_memory_bytes();
+        assert!(a.stats().spilled_txns > 0, "GC must have spilled");
+        // 5x the stream must not approach 5x the resident bytes. (The
+        // pre-fix latch kept every published version resident, scaling
+        // linearly; the factor-3 bound leaves room for spill-segment
+        // metadata, which grows by a few dozen bytes per pass.)
+        assert!(end <= 3 * mid, "RC resident state must stay bounded: {mid} -> {end} bytes");
+        assert!(
+            a.membership.len() < 300,
+            "membership summaries must compact under GC, got {} versions",
+            a.membership.len()
+        );
+        let out = a.finish();
+        assert!(out.is_ok(), "a clean RC stream must still pass: {}", out.report);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: `reload_below` used to rescan every spill segment
+    /// from `Timestamp::MIN` on *every* deep-straggler arrival. The
+    /// loaded watermark must make repeated passes at or below an
+    /// already-loaded bound free.
+    #[test]
+    fn straggler_reload_passes_stop_rescanning() {
+        let mut a = OnlineChecker::builder()
+            .level(IsolationLevel::ReadCommitted)
+            .ext_timeout_ms(10)
+            .gc(OnlineGcPolicy::Checking { max_txns: 8 })
+            .build()
+            .unwrap();
+        for i in 1..=40u64 {
+            let txn = t(i, 0, (i - 1) as u32, i * 10 + 1, i * 10 + 5).put(Key(1), Value(i)).build();
+            a.receive(txn, i * 100);
+            a.tick(i * 100);
+        }
+        assert!(a.stats().spilled_txns > 0, "GC must have spilled");
+        assert!(
+            a.gc_horizon_ts.is_some_and(|h| h >= Timestamp(5)),
+            "the stragglers below must reach under the horizon ({:?})",
+            a.gc_horizon_ts
+        );
+        // First deep straggler: one reload pass. (It anchors before the
+        // first commit at ts 15, so the initial value is all it can
+        // legally read.)
+        a.receive(t(1001, 1, 0, 4, 5).read(Key(1), Value(0)).build(), 5000);
+        let after_first = a.reload_scans;
+        assert!(after_first >= 1, "the deep straggler must trigger a reload pass");
+        // A second straggler at or below the loaded watermark: no new
+        // scan — the floor remembers what is already resident.
+        a.receive(t(1002, 2, 0, 2, 3).read(Key(1), Value(0)).build(), 5001);
+        assert_eq!(a.reload_scans, after_first, "repeated passes must not rescan");
+        let out = a.finish();
+        assert!(out.is_ok(), "stale committed reads are RC-legal: {}", out.report);
     }
 
     /// Regression: an overlapping writer pair whose levels permit the

@@ -27,6 +27,7 @@
 pub mod checker;
 pub mod feed;
 pub mod index;
+pub mod membership;
 pub mod sharded;
 pub mod snapshot;
 pub mod spill;
@@ -45,6 +46,7 @@ pub use feed::{
     feed_plan, route_txn, run_plan, shard_of, Arrival, FeedConfig, OnlineRunReport, RoutedTxn,
     TimedEvent,
 };
+pub use membership::MembershipIndex;
 pub use sharded::ShardedChecker;
 pub use spill::{SpillEntry, SpillFaultPlan, SpillStore};
 pub use stats::{AionStats, FlipSummary};

@@ -46,6 +46,12 @@ pub(crate) enum ShardCmd {
     /// critical path — the last worker to unwrap it takes ownership,
     /// the others clone in parallel on their own threads.
     Feed { txn: Arc<Transaction>, now_ms: u64 },
+    /// Process a run of (sub-)transactions in order, exactly as if each
+    /// had been sent as its own [`ShardCmd::Feed`] — one channel send
+    /// amortized over the whole run, one `Fed` reply per part. Never
+    /// dropped by the simulator (only finite `Tick`s are droppable), so
+    /// batching cannot change verdicts under any schedule.
+    FeedBatch { parts: Vec<(Arc<Transaction>, u64)> },
     /// Advance the worker's virtual clock, firing EXT timeouts.
     Tick { now_ms: u64 },
     /// Acknowledge once every prior command has been processed.
@@ -100,22 +106,16 @@ pub(crate) fn worker_step(
     events_on: bool,
 ) -> StepOutput {
     let mut out = StepOutput { replies: Vec::new(), mem: None, done: false };
-    let ck = checker.as_mut().expect("worker alive");
+    // A command after `Finish` (only possible if the coordinator
+    // misbehaves) is ignored rather than panicking the worker thread.
+    let Some(ck) = checker.as_mut() else { return out };
     match cmd {
         ShardCmd::Feed { txn, now_ms } => {
-            let tid = txn.tid;
-            // Last holder takes ownership; other shards of a split
-            // transaction deep-clone here, off the coordinator's
-            // critical path.
-            let txn = Arc::try_unwrap(txn).unwrap_or_else(|shared| (*shared).clone());
-            let mut events = ck.tick(now_ms);
-            events.extend(ck.receive(txn, now_ms));
-            if events_on {
-                // Whether this shard still holds tentative reads for
-                // the transaction — the single source of truth the
-                // coordinator's ExtFinalized merge is driven by.
-                let pending = ck.is_pending(tid);
-                out.replies.push(ShardReply::Fed { tid, pending, events });
+            feed_one(ck, txn, now_ms, events_on, &mut out.replies);
+        }
+        ShardCmd::FeedBatch { parts } => {
+            for (txn, now_ms) in parts {
+                feed_one(ck, txn, now_ms, events_on, &mut out.replies);
             }
         }
         ShardCmd::Tick { now_ms } => {
@@ -132,12 +132,39 @@ pub(crate) fn worker_step(
         }
         ShardCmd::Memory => out.mem = Some(ck.estimated_memory_bytes()),
         ShardCmd::Finish => {
-            let outcome = Box::new(checker.take().expect("worker alive").finish());
-            out.replies.push(ShardReply::Done { shard, outcome });
+            if let Some(ck) = checker.take() {
+                let outcome = Box::new(ck.finish());
+                out.replies.push(ShardReply::Done { shard, outcome });
+            }
             out.done = true;
         }
     }
     out
+}
+
+/// Process one arrival — the shared body of [`ShardCmd::Feed`] and each
+/// element of [`ShardCmd::FeedBatch`], so batched delivery is
+/// event-for-event identical to unbatched by construction.
+fn feed_one(
+    ck: &mut OnlineChecker,
+    txn: Arc<Transaction>,
+    now_ms: u64,
+    events_on: bool,
+    replies: &mut Vec<ShardReply>,
+) {
+    let tid = txn.tid;
+    // Last holder takes ownership; other shards of a split transaction
+    // deep-clone here, off the coordinator's critical path.
+    let txn = Arc::try_unwrap(txn).unwrap_or_else(|shared| (*shared).clone());
+    let mut events = ck.tick(now_ms);
+    events.extend(ck.receive(txn, now_ms));
+    if events_on {
+        // Whether this shard still holds tentative reads for the
+        // transaction — the single source of truth the coordinator's
+        // ExtFinalized merge is driven by.
+        let pending = ck.is_pending(tid);
+        replies.push(ShardReply::Fed { tid, pending, events });
+    }
 }
 
 /// How the coordinator reaches its shard workers. See the module docs;
@@ -194,6 +221,9 @@ impl ThreadTransport {
                 std::thread::Builder::new()
                     .name(format!("aion-shard-{shard}"))
                     .spawn(move || worker_loop(shard, checker, rx, reply_tx, mem_tx, events_on))
+                    // aion-lint: allow(panic-freedom) — OS thread-spawn
+                    // failure is unrecoverable resource exhaustion; there
+                    // is no session to degrade to
                     .expect("spawn shard worker"),
             );
         }
@@ -205,7 +235,9 @@ impl ShardTransport for ThreadTransport {
     fn send(&mut self, shard: usize, cmd: ShardCmd) {
         // A worker can only be gone if it panicked; surface that at
         // finish/join instead of here.
-        let _ = self.cmd_tx[shard].send(cmd);
+        if let Some(tx) = self.cmd_tx.get(shard) {
+            let _ = tx.send(cmd);
+        }
     }
 
     fn recv(&mut self) -> Option<ShardReply> {
@@ -413,18 +445,22 @@ impl SimTransport {
         units
     }
 
-    /// Execute one unit unconditionally (no gates, no stalls).
+    /// Execute one unit unconditionally (no gates, no stalls). A unit
+    /// whose work disappeared (impossible while `units()` and `run_unit`
+    /// stay paired) is a no-op rather than a panic.
     fn run_unit(&mut self, unit: Unit) {
         match unit {
             Unit::Process(i) => {
-                let w = &mut self.workers[i];
-                let cmd = w.mailbox.pop_front().expect("unit had work");
+                let Some(w) = self.workers.get_mut(i) else { return };
+                let Some(cmd) = w.mailbox.pop_front() else { return };
                 let out = worker_step(i, &mut w.checker, cmd, w.events_on);
                 w.outbox.extend(out.replies);
                 self.stats.processed += 1;
             }
             Unit::Deliver(i) => {
-                let reply = self.workers[i].outbox.pop_front().expect("unit had work");
+                let Some(reply) = self.workers.get_mut(i).and_then(|w| w.outbox.pop_front()) else {
+                    return;
+                };
                 self.inbox.push_back(reply);
                 self.stats.delivered += 1;
             }
@@ -439,14 +475,17 @@ impl SimTransport {
             if units.is_empty() {
                 return;
             }
-            let unit = units[self.rng.below(units.len() as u64) as usize];
+            let Some(&unit) = units.get(self.rng.below(units.len() as u64) as usize) else {
+                return;
+            };
             match unit {
                 Unit::Process(i) => {
-                    if self.workers[i].stalled > 0 {
-                        self.workers[i].stalled -= 1;
+                    let Some(w) = self.workers.get_mut(i) else { continue };
+                    if w.stalled > 0 {
+                        w.stalled -= 1;
                         self.stats.deferred += 1;
                     } else if self.rng.chance(self.sched.stall_p) {
-                        self.workers[i].stalled = self.sched.stall_len;
+                        w.stalled = self.sched.stall_len;
                         self.stats.stalls += 1;
                         self.stats.deferred += 1;
                     } else if self.rng.chance(self.sched.process_p) {
@@ -477,7 +516,9 @@ impl SimTransport {
         let deliveries: Vec<Unit> =
             units.iter().copied().filter(|u| matches!(u, Unit::Deliver(_))).collect();
         let pool = if deliveries.is_empty() { units } else { deliveries };
-        let unit = pool[self.rng.below(pool.len() as u64) as usize];
+        let Some(&unit) = pool.get(self.rng.below(pool.len() as u64) as usize) else {
+            return false;
+        };
         self.run_unit(unit);
         true
     }
@@ -495,7 +536,9 @@ impl ShardTransport for SimTransport {
                 return;
             }
         }
-        self.workers[shard].mailbox.push_back(cmd);
+        if let Some(w) = self.workers.get_mut(shard) {
+            w.mailbox.push_back(cmd);
+        }
         self.step_some();
     }
 

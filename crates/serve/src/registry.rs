@@ -41,10 +41,28 @@ impl SessionChecker {
         }
     }
 
-    fn feed(&mut self, txn: aion_types::Transaction, now_ms: u64) -> Vec<CheckEvent> {
+    /// Ingest one admission window of arrivals, each at its own virtual
+    /// time.
+    fn feed_batch(&mut self, batch: Vec<(aion_types::Transaction, u64)>) -> Vec<CheckEvent> {
         match self {
-            SessionChecker::Single(c) => Checker::feed(c, txn, now_ms),
-            SessionChecker::Sharded(c) => c.feed(txn, now_ms),
+            // The single checker fires EXT deadlines only on explicit
+            // ticks, so every arrival keeps its own tick at its own
+            // virtual time — the same event stream the unbatched loop
+            // produced.
+            SessionChecker::Single(c) => {
+                let mut out = Vec::new();
+                for (txn, now) in batch {
+                    out.extend(Checker::tick(c, now));
+                    out.extend(Checker::feed(c, txn, now));
+                }
+                out
+            }
+            // Sharded workers self-tick before each part at that part's
+            // own virtual time, so one batched channel send per shard
+            // preserves every verdict; the coordinator's rate-limited
+            // clock broadcasts only affect how promptly *idle* shards
+            // surface finalization events.
+            SessionChecker::Sharded(c) => Checker::feed_batch(c, batch),
         }
     }
 
@@ -317,31 +335,41 @@ impl Registry {
             return Err(backpressure(cached_total));
         }
         loop {
-            for _ in 0..ADMISSION_SAMPLE_EVERY {
-                let Some(txn) = reader.next_txn()? else {
-                    let mem =
-                        state.checker.as_ref().map_or(0, SessionChecker::estimated_memory_bytes);
-                    self.cache_memory(name, mem);
-                    summary.memory_bytes = mem;
-                    if self.total_memory_bytes() > self.soft_limit_bytes {
-                        summary.soft_pressure = true;
-                    }
-                    return Ok(summary);
-                };
-                let now = state.txns;
+            // Collect one admission window, stamping each arrival with
+            // its own virtual time, then ingest it as a single batch —
+            // for sharded sessions that is one channel send per shard
+            // instead of one per transaction.
+            let mut window: Vec<(aion_types::Transaction, u64)> =
+                Vec::with_capacity(ADMISSION_SAMPLE_EVERY as usize);
+            while (window.len() as u64) < ADMISSION_SAMPLE_EVERY {
+                let Some(txn) = reader.next_txn()? else { break };
+                window.push((txn, state.txns + window.len() as u64));
+            }
+            let exhausted = (window.len() as u64) < ADMISSION_SAMPLE_EVERY;
+            if !window.is_empty() {
+                let ingested = window.len() as u64;
                 let checker = state
                     .checker
                     .as_mut()
                     .ok_or_else(|| ServeError::UnknownSession(name.to_owned()))?;
-                let mut evs = checker.tick(now);
-                evs.extend(checker.feed(txn, now));
-                state.txns += 1;
-                summary.txns += 1;
+                let evs = checker.feed_batch(window);
+                let violations = evs.iter().filter(|e| e.is_violation()).count() as u64;
+                state.txns += ingested;
+                summary.txns += ingested;
                 summary.events += evs.len() as u64;
-                summary.violations += evs.iter().filter(|e| e.is_violation()).count() as u64;
+                summary.violations += violations;
                 state.events += evs.len() as u64;
-                state.violations += evs.iter().filter(|e| e.is_violation()).count() as u64;
+                state.violations += violations;
                 sink(&evs)?;
+            }
+            if exhausted {
+                let mem = state.checker.as_ref().map_or(0, SessionChecker::estimated_memory_bytes);
+                self.cache_memory(name, mem);
+                summary.memory_bytes = mem;
+                if self.total_memory_bytes() > self.soft_limit_bytes {
+                    summary.soft_pressure = true;
+                }
+                return Ok(summary);
             }
             // Re-sample at each batch boundary: a feed overshoots the
             // hard ceiling by at most one batch before refusal, and the

@@ -415,6 +415,23 @@ pub trait Checker {
     /// events this arrival produced (empty for offline adapters).
     fn feed(&mut self, txn: Transaction, now_ms: u64) -> Vec<CheckEvent>;
 
+    /// Feed a batch of arrivals in order, returning the concatenated
+    /// event stream.
+    ///
+    /// Semantically identical to calling [`Checker::feed`] once per
+    /// element — the default implementation does exactly that, and any
+    /// override must preserve the per-arrival event stream byte for
+    /// byte. Batching exists so drivers can amortize per-arrival
+    /// overhead (channel sends in `aion_online::ShardedChecker`, ticks
+    /// in `aion-serve`) without changing observable behavior.
+    fn feed_batch(&mut self, batch: Vec<(Transaction, u64)>) -> Vec<CheckEvent> {
+        let mut out = Vec::new();
+        for (txn, now_ms) in batch {
+            out.extend(self.feed(txn, now_ms));
+        }
+        out
+    }
+
     /// Advance the (virtual) clock, returning events produced by timer
     /// expiry — EXT finalizations and their violations.
     fn tick(&mut self, now_ms: u64) -> Vec<CheckEvent>;

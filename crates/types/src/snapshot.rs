@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! magic    b"AIONCKPT"   (8 bytes)
-//! version  u8            (currently 1)
+//! version  u8            (currently 3)
 //! kind     u8            (0 = OnlineChecker, 1 = ShardedChecker)
 //! body     checker-specific, see aion-online::snapshot
 //! ```
@@ -21,11 +21,16 @@
 //!
 //! The version byte covers the *whole* body: any change to a body field
 //! — adding one, reordering, widening — bumps `SNAPSHOT_VERSION`, and
-//! readers reject versions they do not know with
-//! [`SnapshotError::UnsupportedVersion`] instead of misparsing. There is
-//! no in-place migration: checkpoints are operational artifacts with the
-//! lifetime of one stream, not archival data, so a version bump simply
-//! means old checkpoints must be re-taken from a live session.
+//! readers reject versions outside
+//! [`SNAPSHOT_VERSION_MIN`]`..=`[`SNAPSHOT_VERSION`] with
+//! [`SnapshotError::UnsupportedVersion`] instead of misparsing. Writers
+//! always emit the current version; readers keep decoding the versions in
+//! that range (the body codecs branch on the version returned by
+//! [`get_snapshot_header_versioned`]), so a daemon upgrade can restore
+//! the checkpoint the previous build left behind. Older versions age out
+//! of the range instead of being migrated in place: checkpoints are
+//! operational artifacts with the lifetime of one stream, not archival
+//! data.
 
 use crate::check::{CheckEvent, CheckerStats};
 use crate::codec::{get_varint, put_varint, CodecError};
@@ -42,7 +47,16 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"AIONCKPT";
 ///
 /// v2: [`CheckerStats`] gained `spill_errors`; [`CheckEvent`] gained a
 /// `SpillError` variant (codec tag 4).
-pub const SNAPSHOT_VERSION: u8 = 2;
+///
+/// v3: the single-checker body gained the committed-membership summaries
+/// and the reload floor (appended after the spill segments). A v2 body
+/// restores with the summaries rebuilt from its frontier — exact,
+/// because v2 writers never pruned the frontier under committed-EXT
+/// policies — and the floor at its conservative minimum.
+pub const SNAPSHOT_VERSION: u8 = 3;
+
+/// Oldest checkpoint schema version this build still restores.
+pub const SNAPSHOT_VERSION_MIN: u8 = 2;
 
 /// Payload-kind byte: the body is a single `OnlineChecker`.
 pub const SNAPSHOT_KIND_SINGLE: u8 = 0;
@@ -91,7 +105,8 @@ impl fmt::Display for SnapshotError {
             SnapshotError::UnsupportedVersion { found } => {
                 write!(
                     f,
-                    "unsupported checkpoint version {found} (this build reads {SNAPSHOT_VERSION})"
+                    "unsupported checkpoint version {found} (this build reads \
+                     {SNAPSHOT_VERSION_MIN}..={SNAPSHOT_VERSION})"
                 )
             }
             SnapshotError::WrongKind { expected, found } => {
@@ -132,7 +147,18 @@ pub fn put_snapshot_header(buf: &mut impl BufMut, kind: u8) {
 }
 
 /// Validate the checkpoint envelope and return the payload-kind byte.
+///
+/// For callers that only dispatch on the kind; body codecs that must
+/// branch on the schema version use
+/// [`get_snapshot_header_versioned`].
 pub fn get_snapshot_header(buf: &mut impl Buf) -> Result<u8, SnapshotError> {
+    get_snapshot_header_versioned(buf).map(|(_, kind)| kind)
+}
+
+/// Validate the checkpoint envelope and return `(version, kind)`, where
+/// the version is guaranteed to lie in
+/// [`SNAPSHOT_VERSION_MIN`]`..=`[`SNAPSHOT_VERSION`].
+pub fn get_snapshot_header_versioned(buf: &mut impl Buf) -> Result<(u8, u8), SnapshotError> {
     if buf.remaining() < SNAPSHOT_MAGIC.len() + 2 {
         return Err(SnapshotError::Codec(CodecError::UnexpectedEof));
     }
@@ -142,10 +168,10 @@ pub fn get_snapshot_header(buf: &mut impl Buf) -> Result<u8, SnapshotError> {
         return Err(SnapshotError::BadMagic);
     }
     let version = buf.get_u8();
-    if version != SNAPSHOT_VERSION {
+    if !(SNAPSHOT_VERSION_MIN..=SNAPSHOT_VERSION).contains(&version) {
         return Err(SnapshotError::UnsupportedVersion { found: version });
     }
-    Ok(buf.get_u8())
+    Ok((version, buf.get_u8()))
 }
 
 /// Encode a `bool` as one byte.
@@ -562,6 +588,23 @@ mod tests {
         assert!(matches!(
             get_snapshot_header(&mut &vers[..]),
             Err(SnapshotError::UnsupportedVersion { found: 99 })
+        ));
+
+        // Every version in the supported range is accepted and reported.
+        for v in SNAPSHOT_VERSION_MIN..=SNAPSHOT_VERSION {
+            let mut old = buf.to_vec();
+            old[8] = v;
+            assert_eq!(
+                get_snapshot_header_versioned(&mut &old[..]).unwrap(),
+                (v, SNAPSHOT_KIND_SHARDED),
+                "version {v} must stay restorable"
+            );
+        }
+        let mut ancient = buf.to_vec();
+        ancient[8] = SNAPSHOT_VERSION_MIN - 1;
+        assert!(matches!(
+            get_snapshot_header_versioned(&mut &ancient[..]),
+            Err(SnapshotError::UnsupportedVersion { .. })
         ));
 
         let short = &buf[..4];
